@@ -1,0 +1,82 @@
+"""F1 — convergence latency vs system size: flat / linear / exponential.
+
+Derived figure for the paper's central comparison: sweep n with
+f = ⌊(n-1)/3⌋ and plot mean convergence beats per family.  Expected
+shapes: the current paper's algorithm is flat in n (expected O(1)); the
+deterministic comparator grows linearly in f; the local-coin randomized
+family deteriorates so fast it is only measurable at toy sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import TrialConfig, run_sweep
+from repro.analysis.tables import render_table, standard_families
+
+K = 4
+SEEDS = range(6)
+
+
+def _mean_latency(family: str, n: int, f: int, max_beats: int) -> tuple[float, int]:
+    factory = standard_families(n, f, K)[family]
+    config = TrialConfig(
+        n=n, f=f, k=K, protocol_factory=factory, max_beats=max_beats
+    )
+    sweep = run_sweep(config, SEEDS)
+    if not sweep.latencies:
+        return float(max_beats), sweep.failure_count
+    mean = sum(sweep.latencies) / len(sweep.latencies)
+    return mean, sweep.failure_count
+
+
+def test_scaling_current_flat_vs_deterministic_linear(once, record_result, benchmark):
+    def experiment():
+        table = {}
+        for n, f in ((4, 1), (7, 2), (10, 3), (13, 4)):
+            table[(n, f)] = {
+                "current": _mean_latency("current", n, f, 400)[0],
+                "deterministic": _mean_latency("deterministic", n, f, 200)[0],
+            }
+        return table
+
+    table = once(experiment)
+    rows = [
+        [f"n={n}, f={f}", f"{v['current']:.1f}", f"{v['deterministic']:.1f}"]
+        for (n, f), v in sorted(table.items())
+    ]
+    record_result(
+        "fig_scaling",
+        render_table(["system", "current (beats)", "deterministic (beats)"], rows),
+    )
+    benchmark.extra_info["table"] = {str(k): v for k, v in table.items()}
+    current = [v["current"] for v in table.values()]
+    deterministic = [
+        table[key]["deterministic"] for key in sorted(table.keys())
+    ]
+    # Deterministic grows monotonically with f...
+    assert deterministic == sorted(deterministic)
+    assert deterministic[-1] > deterministic[0] * 1.8
+    # ...while the current algorithm stays within a flat constant band.
+    assert max(current) < 45
+    # Crossover: by n=13 the deterministic baseline has lost.
+    assert table[(13, 4)]["current"] < table[(13, 4)]["deterministic"]
+
+
+def test_scaling_dolev_welch_explodes(once, record_result, benchmark):
+    def experiment():
+        return {
+            n_f: _mean_latency("dolev-welch", *n_f, 500)
+            for n_f in ((4, 1), (7, 2), (10, 3))
+        }
+
+    table = once(experiment)
+    rows = [
+        [f"n={n}, f={f}", f"{mean:.1f}", str(dnf)]
+        for (n, f), (mean, dnf) in sorted(table.items())
+    ]
+    record_result(
+        "fig_scaling_dw",
+        render_table(["system", "mean beats (DNF=500)", "DNF count"], rows),
+    )
+    benchmark.extra_info["table"] = {str(k): v for k, v in table.items()}
+    # The exponential family deteriorates sharply with n - f.
+    assert table[(10, 3)][0] > table[(4, 1)][0] * 3

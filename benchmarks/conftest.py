@@ -1,0 +1,44 @@
+"""Shared benchmark support.
+
+Every bench regenerates one experiment from DESIGN.md's index (T1, F1-F8),
+asserts the paper's qualitative claim (the *shape*: who wins, by what
+rough factor, where the crossover sits), stores the measured numbers in
+``benchmark.extra_info``, and appends a human-readable block to
+``benchmarks/results/`` so EXPERIMENTS.md can quote real output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Write (and echo) one experiment's rendered output block."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}")
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured experiment exactly once under the benchmark timer.
+
+    Convergence latencies are measured in *beats* inside the experiment;
+    the wall-clock timing pytest-benchmark reports is secondary (it tracks
+    simulation cost, which the message-complexity analysis cares about).
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

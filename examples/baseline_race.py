@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Table 1, live: race the three algorithm families across system sizes.
+
+For each n the three families solve the same k-Clock problem from fully
+scrambled memory:
+
+* Dolev-Welch-style local-coin randomization — expected exponential;
+* deterministic cyclic Byzantine agreement — O(f) beats, every seed;
+* this paper's ss-Byz-Clock-Sync — expected O(1), flat in n.
+
+Run:  python examples/baseline_race.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    TrialConfig,
+    render_table,
+    run_sweep,
+    standard_families,
+)
+
+SIZES = [(4, 1), (7, 2), (10, 3)]
+K = 4
+SEEDS = range(6)
+MAX_BEATS = 400
+
+
+def measure(family: str, n: int, f: int) -> str:
+    factory = standard_families(n, f, K)[family]
+    config = TrialConfig(
+        n=n,
+        f=f,
+        k=K,
+        protocol_factory=factory,
+        max_beats=MAX_BEATS,
+    )
+    sweep = run_sweep(config, SEEDS)
+    if not sweep.latencies:
+        return f">{MAX_BEATS}"
+    mean = sum(sweep.latencies) / len(sweep.latencies)
+    suffix = "" if sweep.success_rate == 1.0 else f" ({sweep.failure_count} DNF)"
+    return f"{mean:.1f}{suffix}"
+
+
+def main() -> None:
+    rows = []
+    for n, f in SIZES:
+        rows.append(
+            [
+                f"n={n}, f={f}",
+                measure("dolev-welch", n, f),
+                measure("deterministic", n, f),
+                measure("current", n, f),
+            ]
+        )
+    print(f"mean convergence beats, k={K}, {len(list(SEEDS))} seeds each "
+          f"(DNF = did not finish in {MAX_BEATS} beats)\n")
+    print(
+        render_table(
+            [
+                "system",
+                "[10]-style local coin",
+                "[15]/[7]-style deterministic",
+                "this paper",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nShapes to notice: the local-coin column blows up with n - f, the\n"
+        "deterministic column grows linearly with f, and this paper's\n"
+        "column stays flat — Table 1 of the paper, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

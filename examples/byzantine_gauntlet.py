@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Run ss-Byz-Clock-Sync through a gauntlet of Byzantine strategies.
+
+Each adversary fully controls f = ⌊(n-1)/3⌋ nodes, sees every broadcast,
+rushes (reads honest messages before committing its own), and in the
+split-world case even dictates the coin's outputs in the divergent event.
+Convergence must stay expected-constant against all of them (Theorem 4).
+
+Run:  python examples/byzantine_gauntlet.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import (
+    CrashAdversary,
+    EquivocatorAdversary,
+    RandomNoiseAdversary,
+    SplitWorldAdversary,
+)
+from repro.analysis import TrialConfig, render_table, run_sweep, summarize
+from repro.coin.oracle import OracleCoin
+from repro.core.clock_sync import SSByzClockSync
+
+GAUNTLET = [
+    ("fault-free", lambda: None),
+    ("crash (silent)", CrashAdversary),
+    ("random noise", RandomNoiseAdversary),
+    ("equivocator", EquivocatorAdversary),
+    ("split-world + coin control", SplitWorldAdversary),
+]
+
+
+def main() -> None:
+    n, f, k = 7, 2, 32
+    seeds = range(10)
+    rows = []
+    for name, adversary_factory in GAUNTLET:
+        config = TrialConfig(
+            n=n,
+            f=f,
+            k=k,
+            protocol_factory=lambda i: SSByzClockSync(
+                k, lambda: OracleCoin(p0=0.35, p1=0.35, rounds=3)
+            ),
+            adversary_factory=adversary_factory,
+            max_beats=300,
+        )
+        sweep = run_sweep(config, seeds)
+        summary = summarize([float(v) for v in sweep.latencies])
+        rows.append(
+            [
+                name,
+                f"{sweep.success_rate * 100:.0f}%",
+                f"{summary.mean:.1f}",
+                f"{summary.median:.0f}",
+                f"{summary.maximum:.0f}",
+            ]
+        )
+    print(f"ss-Byz-Clock-Sync under attack  (n={n}, f={f}, k={k}, {len(seeds)} seeds)\n")
+    print(
+        render_table(
+            ["adversary", "converged", "mean beats", "median", "worst"], rows
+        )
+    )
+    print(
+        "\nAll rows stay within a small constant number of beats — the\n"
+        "adversary can delay merging only while the common coin disagrees\n"
+        "with the standing clock value, which happens with constant\n"
+        "probability per beat (Lemmas 4 and 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

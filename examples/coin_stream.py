@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The self-stabilizing coin: one common random bit per beat, under attack.
+
+Runs the full Feldman-Micali-style stack — Shamir rows from symmetric
+bivariate polynomials, cross-point exchange, graded votes, error-corrected
+recovery — inside the ss-Byz-Coin-Flip pipeline (Fig. 1), while a
+round-aware dealer attack misdeals rows, frames honest dealers with bogus
+cross points, equivocates votes, and lies in recovery.
+
+Run:  python examples/coin_stream.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import DealerAttackAdversary
+from repro.coin import FeldmanMicaliCoin
+from repro.core.pipeline import CoinFlipPipeline
+from repro.net.simulator import Simulation
+
+
+def main() -> None:
+    n, f = 7, 2
+    coin = FeldmanMicaliCoin(n, f)
+    print(f"coin: {coin.name}, Δ_A = {coin.rounds} rounds, pipeline depth {coin.rounds}")
+    sim = Simulation(
+        n,
+        f,
+        lambda i: CoinFlipPipeline(coin),
+        adversary=DealerAttackAdversary(),
+        seed=13,
+    )
+
+    sim.run(coin.rounds)  # flush arbitrary startup state (Lemma 1)
+    print(f"pipeline flushed after Δ_A = {coin.rounds} beats; streaming:\n")
+
+    agreed = ones = 0
+    beats = 40
+    for beat in range(beats):
+        sim.run_beat()
+        bits = [sim.nodes[i].root.rand for i in sim.honest_ids]
+        common = len(set(bits)) == 1
+        agreed += common
+        ones += bits[0] if common else 0
+        stream = " ".join(str(b) for b in bits)
+        note = "" if common else "   <- divergent (adversary-induced)"
+        print(f"  beat {beat + coin.rounds:>3} | {stream}{note}")
+
+    print(f"\nagreement rate : {agreed}/{beats} beats")
+    print(f"ones among agreed bits: {ones}/{agreed}")
+    print(
+        "\nEvery agreed beat delivered one uniformly random bit that no f\n"
+        "nodes could predict a round earlier — the stream ss-Byz-2-Clock\n"
+        "consumes, and (per the paper's §6.1) a tool for randomized\n"
+        "self-stabilization well beyond clock synchronization."
+    )
+
+
+if __name__ == "__main__":
+    main()

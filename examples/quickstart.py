@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: synchronize a 60-second digital clock among 7 nodes.
+
+Seven nodes, two of them Byzantine-capable (f = 2), start from completely
+scrambled memory and must agree on a wall-clock-style counter mod 60 that
+all of them advance by one every beat — the k-Clock problem the paper
+solves in expected constant time.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2026
+    n, f, k = 7, 2, 60
+    result = repro.synchronize(n=n, f=f, k=k, seed=seed, max_beats=60)
+
+    print(f"ss-Byz-Clock-Sync  n={n} f={f} k={k} seed={seed}")
+    print("correct nodes' clocks per beat (from scrambled memory):\n")
+    for beat, values in enumerate(result.history[:20]):
+        cells = " ".join(f"{v:>3}" if v is not None else "  ⊥" for v in values)
+        marker = ""
+        if result.converged_beat is not None and beat == result.converged_beat:
+            marker = "   <- clock-synched from here on (Definition 3.2)"
+        print(f"  beat {beat:>3} | {cells}{marker}")
+
+    print()
+    if result.converged_beat is None:
+        print("did not converge (raise max_beats — this is vanishingly rare)")
+        raise SystemExit(1)
+    print(
+        f"converged at beat {result.converged_beat} — expected O(1), "
+        f"independent of n and k (Theorem 4)."
+    )
+    print(f"total messages: {result.total_messages}")
+
+
+if __name__ == "__main__":
+    main()

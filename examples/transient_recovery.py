@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Self-stabilization live: memory storms and phantom messages mid-flight.
+
+A day-length digital clock (k = 86400 seconds) runs among 7 nodes with two
+Byzantine equivocators.  At beat 60 every correct node's memory is
+scrambled (a transient fault storm), and a burst of 300 phantom messages —
+stale traffic claiming arbitrary senders — is dumped into the network.  The
+protocol must re-converge on its own, which is what "self-stabilizing"
+means (Definition 3.2 from any state).
+
+Run:  python examples/transient_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import EquivocatorAdversary
+from repro.analysis import ClockConvergenceMonitor
+from repro.coin.oracle import OracleCoin
+from repro.core.clock_sync import SSByzClockSync
+from repro.faults import inject_phantom_storm, scramble_now
+from repro.net.simulator import Simulation
+
+STORM_BEAT = 60
+
+
+def fmt(values: tuple[int | None, ...]) -> str:
+    return " ".join(
+        f"{v:>5}" if v is not None else "    ⊥" for v in values
+    )
+
+
+def main() -> None:
+    n, f, k = 7, 2, 86_400
+    sim = Simulation(
+        n,
+        f,
+        lambda i: SSByzClockSync(k, lambda: OracleCoin(p0=0.35, p1=0.35, rounds=3)),
+        adversary=EquivocatorAdversary(),
+        seed=7,
+    )
+    monitor = ClockConvergenceMonitor(k=k)
+    sim.add_monitor(monitor)
+
+    scramble_now(sim)  # worst-case start
+    print(f"day clock (k={k}) with n={n}, f={f}, equivocating adversary\n")
+    for beat in range(STORM_BEAT):
+        sim.run_beat()
+        if beat < 12 or beat % 20 == 19:
+            print(f"  beat {beat:>3} | {fmt(monitor.history[-1])}")
+    first = monitor.convergence_beat(until_beat=STORM_BEAT)
+    print(f"\n>>> first convergence at beat {first}")
+
+    print(f"\n>>> beat {STORM_BEAT}: scrambling every correct node's memory")
+    print(">>> and injecting 300 phantom messages\n")
+    scramble_now(sim)
+    inject_phantom_storm(
+        sim, ["root", "root/coin", "root/A/A1", "root/A/A2"], count=300
+    )
+    for beat in range(STORM_BEAT, STORM_BEAT + 20):
+        sim.run_beat()
+        print(f"  beat {beat:>3} | {fmt(monitor.history[-1])}")
+    sim.run(60)
+
+    second = monitor.convergence_beat(from_beat=STORM_BEAT + 1)
+    print(f"\n>>> re-converged at beat {second} "
+          f"({second - STORM_BEAT} beats after the storm)")
+    if first is None or second is None:
+        raise SystemExit("unexpected: no convergence — try another seed")
+    print(
+        "\nRecovery takes the same expected-constant number of beats as the\n"
+        "original convergence: the algorithm has no distinguished initial\n"
+        "state to rely on, so every state is a state it can start from."
+    )
+
+
+if __name__ == "__main__":
+    main()

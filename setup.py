@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so environments
+without the ``wheel`` package (no PEP 660 editable builds) can still do
+``pip install -e . --no-use-pep517`` / ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Byzantine adversary framework and strategies (paper §2 fault model)."""
+
+from repro.adversary.anti_coin import AntiCoinClock2Adversary
+from repro.adversary.base import Adversary, AdversaryView, NullAdversary
+from repro.adversary.bisector import BisectorAdversary
+from repro.adversary.dealer_attack import DealerAttackAdversary
+from repro.adversary.mixed_dealing import MixedDealingAdversary
+from repro.adversary.payloads import mutate_payload, observed_payloads
+from repro.adversary.strategies import (
+    CrashAdversary,
+    EquivocatorAdversary,
+    RandomNoiseAdversary,
+    ScriptedAdversary,
+    SplitWorldAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "AntiCoinClock2Adversary",
+    "BisectorAdversary",
+    "CrashAdversary",
+    "DealerAttackAdversary",
+    "EquivocatorAdversary",
+    "MixedDealingAdversary",
+    "NullAdversary",
+    "RandomNoiseAdversary",
+    "ScriptedAdversary",
+    "SplitWorldAdversary",
+    "mutate_payload",
+    "observed_payloads",
+]

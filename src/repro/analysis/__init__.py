@@ -1,0 +1,43 @@
+"""Evaluation harness: monitors, trials, sweeps, statistics, tables."""
+
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.analysis.experiments import (
+    SweepResult,
+    TrialConfig,
+    TrialResult,
+    run_sweep,
+    run_trial,
+)
+from repro.analysis.stats import (
+    Summary,
+    geometric_tail_rate,
+    mean,
+    median,
+    quantile,
+    summarize,
+)
+from repro.analysis.tables import (
+    Table1Row,
+    render_table,
+    standard_families,
+    table1_comparison,
+)
+
+__all__ = [
+    "ClockConvergenceMonitor",
+    "Summary",
+    "SweepResult",
+    "Table1Row",
+    "TrialConfig",
+    "TrialResult",
+    "geometric_tail_rate",
+    "mean",
+    "median",
+    "quantile",
+    "render_table",
+    "run_sweep",
+    "run_trial",
+    "standard_families",
+    "summarize",
+    "table1_comparison",
+]

@@ -1,0 +1,75 @@
+"""Convergence and closure monitors (Definition 3.2, observable form).
+
+A :class:`ClockConvergenceMonitor` snapshots every correct node's
+``clock_value`` at the end of each beat and answers the questions the
+evaluation needs: at which beat did the system become clock-synched and
+stay in closure (increment by one mod k every beat) through the end of the
+run?
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.problem import converged_at, is_clock_synched
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.simulator import Simulation
+
+__all__ = ["ClockConvergenceMonitor"]
+
+
+class ClockConvergenceMonitor:
+    """Monitor recording correct nodes' clock values beat by beat."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        #: ``history[b]`` = tuple of correct clock values at end of beat b.
+        self.history: list[tuple[int | None, ...]] = []
+
+    def __call__(self, simulation: "Simulation", beat: int) -> None:
+        values = tuple(
+            root.clock_value
+            for _, root in sorted(simulation.honest_roots().items())
+        )
+        self.history.append(values)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def beats_recorded(self) -> int:
+        return len(self.history)
+
+    def synched_now(self) -> bool:
+        """Whether the latest recorded beat is clock-synched."""
+        return bool(self.history) and is_clock_synched(self.history[-1])
+
+    def convergence_beat(
+        self, from_beat: int = 0, until_beat: int | None = None
+    ) -> int | None:
+        """First beat >= ``from_beat`` from which the run is synched and in
+        closure through ``until_beat`` (exclusive; default: end of run);
+        ``None`` if it never (re)converged in that window.
+
+        The window matters for fault-storm experiments: a run that
+        converged, was scrambled at beat ``s``, and re-converged shows two
+        convergences — query ``[0, s)`` and ``[s, end)`` separately.
+        """
+        window = self.history[from_beat:until_beat]
+        relative = converged_at(window, self.k)
+        if relative is None:
+            return None
+        return from_beat + relative
+
+    def beats_to_converge(
+        self, from_beat: int = 0, until_beat: int | None = None
+    ) -> int | None:
+        """Convergence latency measured from ``from_beat``."""
+        beat = self.convergence_beat(from_beat, until_beat)
+        if beat is None:
+            return None
+        return beat - from_beat
+
+    def stayed_in_closure(self, from_beat: int) -> bool:
+        """Whether the run is synched and in closure from ``from_beat`` on."""
+        return self.convergence_beat(from_beat) == from_beat

@@ -1,0 +1,125 @@
+"""Trial and sweep harness used by tests, examples and every benchmark.
+
+One *trial* = build a simulation, scramble every correct node (the
+worst-case transient fault), run up to ``max_beats``, and report when the
+k-Clock problem's convergence + closure held (Definition 3.2).  Sweeps
+repeat trials across seeds and aggregate with :mod:`repro.analysis.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.adversary.base import Adversary
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.analysis.stats import Summary, summarize
+from repro.net.component import Component
+from repro.net.simulator import Simulation
+
+__all__ = ["TrialConfig", "TrialResult", "SweepResult", "run_trial", "run_sweep"]
+
+ProtocolFactory = Callable[[int], Component]
+AdversaryFactory = Callable[[], Adversary | None]
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Everything one convergence trial needs.
+
+    Attributes:
+        n, f: system size and fault parameter.
+        k: the clock modulus being solved for (read from the component if 0).
+        protocol_factory: per-node root component builder.
+        adversary_factory: builds a fresh adversary per trial (or None).
+        max_beats: give up after this many beats.
+        scramble: apply the worst-case transient fault before beat 0.
+    """
+
+    n: int
+    f: int
+    k: int
+    protocol_factory: ProtocolFactory
+    adversary_factory: AdversaryFactory = lambda: None
+    max_beats: int = 500
+    scramble: bool = True
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial."""
+
+    seed: int
+    converged_beat: int | None
+    beats_run: int
+    total_messages: int
+    history: tuple[tuple[int | None, ...], ...] = field(repr=False)
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_beat is not None
+
+    @property
+    def latency(self) -> int | None:
+        """Beats from the scrambled start until convergence."""
+        return self.converged_beat
+
+    @property
+    def messages_per_beat(self) -> float:
+        return self.total_messages / max(1, self.beats_run)
+
+
+def run_trial(config: TrialConfig, seed: int) -> TrialResult:
+    """Run one scrambled-start convergence trial."""
+    simulation = Simulation(
+        config.n,
+        config.f,
+        config.protocol_factory,
+        adversary=config.adversary_factory(),
+        seed=seed,
+    )
+    monitor = ClockConvergenceMonitor(config.k)
+    simulation.add_monitor(monitor)
+    if config.scramble:
+        simulation.scramble()
+    simulation.run(config.max_beats)
+    return TrialResult(
+        seed=seed,
+        converged_beat=monitor.convergence_beat(),
+        beats_run=config.max_beats,
+        total_messages=simulation.stats.total_messages,
+        history=tuple(monitor.history),
+    )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregate over seeds for one configuration."""
+
+    config: TrialConfig
+    results: tuple[TrialResult, ...]
+
+    @property
+    def latencies(self) -> list[int]:
+        return [r.converged_beat for r in self.results if r.converged_beat is not None]
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for r in self.results if not r.converged)
+
+    @property
+    def success_rate(self) -> float:
+        return 1.0 - self.failure_count / len(self.results)
+
+    def latency_summary(self) -> Summary:
+        return summarize([float(v) for v in self.latencies])
+
+    @property
+    def mean_messages_per_beat(self) -> float:
+        return sum(r.messages_per_beat for r in self.results) / len(self.results)
+
+
+def run_sweep(config: TrialConfig, seeds: Sequence[int]) -> SweepResult:
+    """Run one trial per seed and aggregate."""
+    results = tuple(run_trial(config, seed) for seed in seeds)
+    return SweepResult(config=config, results=results)

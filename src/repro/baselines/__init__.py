@@ -1,0 +1,15 @@
+"""Comparator algorithms for Table 1's rows (see DESIGN.md substitutions)."""
+
+from repro.baselines.det_clock_sync import DeterministicClockSync
+from repro.baselines.dolev_welch import DolevWelchClock
+from repro.baselines.phase_king import PhaseKingState, phase_king_rounds
+from repro.baselines.turpin_coan import TurpinCoanInstance, turpin_coan_rounds
+
+__all__ = [
+    "DeterministicClockSync",
+    "DolevWelchClock",
+    "PhaseKingState",
+    "TurpinCoanInstance",
+    "phase_king_rounds",
+    "turpin_coan_rounds",
+]

@@ -1,0 +1,63 @@
+"""Randomized clock sync with *local* coins: the expected-exponential row.
+
+Table 1's first rows ([10], Dolev-Welch) synchronize with private
+randomness: broadcast the clock, adopt (majority + 1) when ``n - f`` agree,
+otherwise guess a fresh random clock.  Without a common coin the correct
+nodes only leave a split state when their independent guesses happen to
+line up, which takes expected ``k^(n-f-1)``-flavoured time — the
+exponential convergence the current paper's common-coin pipeline removes.
+
+This is a class-representative substitution, not a line-by-line port of
+[10] (whose pseudo-code is not in the reproduced paper); DESIGN.md
+documents the substitution, and the benches only rely on the *shape* —
+deterministic-linear vs expected-exponential vs expected-constant.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.majority import (
+    BOTTOM,
+    count_values,
+    first_payload_per_sender,
+    most_frequent,
+)
+from repro.errors import ConfigurationError
+from repro.net.component import BeatContext, Component
+
+__all__ = ["DolevWelchClock"]
+
+
+class DolevWelchClock(Component):
+    """Expected-exponential randomized k-clock (local randomness only)."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.modulus = k
+        self.clock = 0
+
+    @property
+    def clock_value(self) -> int:
+        return self.clock
+
+    def on_send(self, ctx: BeatContext) -> None:
+        ctx.broadcast(self.clock)
+
+    def on_update(self, ctx: BeatContext) -> None:
+        values = first_payload_per_sender(ctx.inbox).values()
+        winner, count = most_frequent(count_values(values))
+        if (
+            winner is not BOTTOM
+            and isinstance(winner, int)
+            and count >= ctx.n - ctx.f
+        ):
+            self.clock = (winner + 1) % self.k
+        else:
+            self.clock = ctx.rng.randrange(self.k)
+
+    def scramble(self, rng: random.Random) -> None:
+        self.clock = rng.randrange(self.k)

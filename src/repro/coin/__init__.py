@@ -1,0 +1,27 @@
+"""Common coin-flipping algorithms and their algebraic substrate (§2.1)."""
+
+from repro.coin.feldman_micali import FeldmanMicaliCoin, FeldmanMicaliInstance
+from repro.coin.field import PrimeField, is_prime, smallest_prime_above
+from repro.coin.gvss import GRADE_HIGH, GRADE_LOW, GRADE_NONE, GradedSharingState
+from repro.coin.interfaces import CoinAlgorithm, CoinInstance, InstanceContext
+from repro.coin.local import LocalCoin, LocalCoinInstance
+from repro.coin.oracle import OracleCoin, OracleCoinInstance
+
+__all__ = [
+    "CoinAlgorithm",
+    "CoinInstance",
+    "FeldmanMicaliCoin",
+    "FeldmanMicaliInstance",
+    "GRADE_HIGH",
+    "GRADE_LOW",
+    "GRADE_NONE",
+    "GradedSharingState",
+    "InstanceContext",
+    "LocalCoin",
+    "LocalCoinInstance",
+    "OracleCoin",
+    "OracleCoinInstance",
+    "PrimeField",
+    "is_prime",
+    "smallest_prime_above",
+]

@@ -1,0 +1,303 @@
+"""Graded Verifiable Secret Sharing over the global-beat network.
+
+Observation 2.1 of the paper: the Feldman-Micali common coin is built from
+graded verifiable secret sharing with three logical phases — *share*,
+*decide*, *recover* — where the secret stays unrecoverable by any ``f``
+nodes until the one-round recover phase.  This module implements one node's
+view of ``n`` concurrent dealings (every node deals one secret) in four
+lock-step rounds:
+
+1. **share** — dealer ``d`` draws a uniformly random symmetric bivariate
+   polynomial ``S_d`` of degree ``f`` with ``S_d(0,0)`` its secret bit and
+   privately sends node ``j`` the row ``S_d(x_j, ·)``.
+2. **exchange** — node ``i`` privately sends node ``j`` the cross point
+   ``row_i^d(x_j)`` for every dealer ``d``; symmetry makes
+   ``row_i^d(x_j) == row_j^d(x_i)`` whenever both rows came from an honest
+   dealing.
+3. **decide (vote)** — node ``i`` broadcasts, per dealer, whether its row is
+   well-formed and consistent with at least ``n - f`` cross points.
+4. **recover** — node ``i`` grades every dealer from the received votes
+   (grade 2 at ``>= n - f`` OKs, grade 1 at ``>= n - 2f``, else 0),
+   broadcasts its zero-share ``row_i^d(0)`` for every well-formed row, and
+   reconstructs each graded dealer's secret by Berlekamp-Welch decoding
+   (degree ``f``, up to ``f`` lies).
+
+Properties delivered (and unit-tested):
+
+* an honest dealer reaches grade 2 at every correct node, and its secret is
+  recovered *identically everywhere* — correct zero-shares dominate and
+  unique decoding does the rest;
+* if any correct node grades a dealer 2, every correct node grades it >= 1
+  (vote counts seen by two correct nodes differ by at most ``f``);
+* before round 4 the adversary holds at most ``f`` points of each honest
+  zero polynomial of degree ``f`` — one short of interpolation — so the
+  secret is information-theoretically hidden (*unpredictability*).
+
+See DESIGN.md for the one deliberate simplification versus full
+Feldman-Micali and why the coin built on top still has the properties the
+clock algorithms consume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.coin.field import PrimeField
+from repro.coin.interfaces import InstanceContext
+from repro.coin.polynomial import Coeffs, evaluate
+from repro.coin.reedsolomon import decode_best_effort
+from repro.coin.shamir import SymmetricBivariate, node_point
+
+__all__ = ["GradedSharingState", "GRADE_HIGH", "GRADE_LOW", "GRADE_NONE"]
+
+GRADE_HIGH = 2
+GRADE_LOW = 1
+GRADE_NONE = 0
+
+ROUND_SHARE = 1
+ROUND_EXCHANGE = 2
+ROUND_VOTE = 3
+ROUND_RECOVER = 4
+
+
+class GradedSharingState:
+    """One node's state across the four GVSS rounds (all ``n`` dealings)."""
+
+    ROUNDS = 4
+
+    def __init__(self, n: int, f: int, field: PrimeField) -> None:
+        self.n = n
+        self.f = f
+        self.field = field
+        #: My dealing's secret bit (drawn at round 1).
+        self.my_secret = 0
+        #: Rows received in round 1: dealer id -> row coefficients (or None).
+        self.rows: dict[int, Coeffs] = {}
+        #: Cross points received in round 2: sender -> dealer -> value.
+        self.cross_points: dict[int, dict[int, int]] = {}
+        #: Votes received in round 3: sender -> set of dealers voted OK.
+        self.votes: dict[int, frozenset[int]] = {}
+        #: Grades computed in round 4: dealer -> 0/1/2.
+        self.grades: dict[int, int] = {}
+        #: Recovered secrets for graded dealers: dealer -> field element.
+        self.recovered: dict[int, int] = {}
+
+    # -- round 1: share ----------------------------------------------------
+
+    def send_share(self, ctx: InstanceContext) -> None:
+        self.my_secret = ctx.rng.randrange(2)
+        dealing = SymmetricBivariate.random(
+            self.field, self.my_secret, self.f, ctx.rng
+        )
+        for receiver in range(self.n):
+            ctx.send(receiver, ("row", dealing.row(receiver)))
+
+    def update_share(self, ctx: InstanceContext) -> None:
+        self.rows = {}
+        for sender, payload in ctx.first_per_sender().items():
+            row = self._validate_row(payload)
+            if row is not None:
+                self.rows[sender] = row
+
+    def _validate_row(self, payload: Any) -> Coeffs | None:
+        """Accept only a well-formed degree <= f row polynomial."""
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return None
+        kind, row = payload
+        if kind != "row" or not isinstance(row, tuple):
+            return None
+        if len(row) > self.f + 1:
+            return None
+        if not all(self.field.contains(c) for c in row):
+            return None
+        return row
+
+    # -- round 2: exchange ----------------------------------------------------
+
+    def send_exchange(self, ctx: InstanceContext) -> None:
+        for receiver in range(self.n):
+            points = tuple(
+                (dealer, evaluate(self.field, row, node_point(receiver)))
+                for dealer, row in sorted(self.rows.items())
+            )
+            ctx.send(receiver, ("xpt", points))
+
+    def update_exchange(self, ctx: InstanceContext) -> None:
+        self.cross_points = {}
+        for sender, payload in ctx.first_per_sender().items():
+            parsed = self._validate_cross_points(payload)
+            if parsed is not None:
+                self.cross_points[sender] = parsed
+
+    def _validate_cross_points(self, payload: Any) -> dict[int, int] | None:
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return None
+        kind, points = payload
+        if kind != "xpt" or not isinstance(points, tuple):
+            return None
+        parsed: dict[int, int] = {}
+        for entry in points:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                return None
+            dealer, value = entry
+            if not (isinstance(dealer, int) and self.field.contains(value)):
+                return None
+            if 0 <= dealer < self.n and dealer not in parsed:
+                parsed[dealer] = value
+        return parsed
+
+    # -- round 3: vote -----------------------------------------------------------
+
+    def send_vote(self, ctx: InstanceContext) -> None:
+        ok: list[int] = []
+        for dealer, row in sorted(self.rows.items()):
+            matches = 0
+            for peer in range(self.n):
+                expected = evaluate(self.field, row, node_point(peer))
+                reported = self.cross_points.get(peer, {}).get(dealer)
+                if reported == expected:
+                    matches += 1
+            # Up to f peers may withhold or lie about cross points, so an
+            # honest dealing must not be vetoed by them.
+            if matches >= self.n - self.f:
+                ok.append(dealer)
+        ctx.broadcast(("vote", tuple(ok)))
+
+    def update_vote(self, ctx: InstanceContext) -> None:
+        self.votes = {}
+        for sender, payload in ctx.first_per_sender().items():
+            parsed = self._validate_vote(payload)
+            if parsed is not None:
+                self.votes[sender] = parsed
+
+    def _validate_vote(self, payload: Any) -> frozenset[int] | None:
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return None
+        kind, dealers = payload
+        if kind != "vote" or not isinstance(dealers, tuple):
+            return None
+        if not all(isinstance(d, int) for d in dealers):
+            return None
+        return frozenset(d for d in dealers if 0 <= d < self.n)
+
+    # -- round 4: recover -----------------------------------------------------
+
+    def send_recover(self, ctx: InstanceContext) -> None:
+        self.grades = self._compute_grades()
+        shares = tuple(
+            (dealer, evaluate(self.field, row, 0))
+            for dealer, row in sorted(self.rows.items())
+        )
+        ctx.broadcast(("rshare", shares))
+
+    def _compute_grades(self) -> dict[int, int]:
+        grades: dict[int, int] = {}
+        for dealer in range(self.n):
+            ok_count = sum(1 for voted in self.votes.values() if dealer in voted)
+            if ok_count >= self.n - self.f:
+                grades[dealer] = GRADE_HIGH
+            elif ok_count >= self.n - 2 * self.f:
+                grades[dealer] = GRADE_LOW
+            else:
+                grades[dealer] = GRADE_NONE
+        return grades
+
+    def update_recover(self, ctx: InstanceContext) -> None:
+        zero_shares: dict[int, dict[int, int]] = {d: {} for d in range(self.n)}
+        for sender, payload in ctx.first_per_sender().items():
+            parsed = self._validate_recover(payload)
+            if parsed is None:
+                continue
+            for dealer, value in parsed.items():
+                zero_shares[dealer][sender] = value
+        self.recovered = {}
+        for dealer, grade in self.grades.items():
+            if grade == GRADE_NONE:
+                continue
+            points = [
+                (node_point(sender), value)
+                for sender, value in sorted(zero_shares[dealer].items())
+            ]
+            if len(points) < self.f + 1:
+                self.recovered[dealer] = 0
+                continue
+            self.recovered[dealer] = decode_best_effort(
+                self.field, points, degree=self.f, max_errors=self.f, fallback=0
+            )
+
+    def _validate_recover(self, payload: Any) -> dict[int, int] | None:
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return None
+        kind, shares = payload
+        if kind != "rshare" or not isinstance(shares, tuple):
+            return None
+        parsed: dict[int, int] = {}
+        for entry in shares:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                return None
+            dealer, value = entry
+            if not (isinstance(dealer, int) and self.field.contains(value)):
+                return None
+            if 0 <= dealer < self.n and dealer not in parsed:
+                parsed[dealer] = value
+        return parsed
+
+    # -- output & faults -----------------------------------------------------
+
+    def parity_output(self) -> int:
+        """XOR of recovered secret parities over locally accepted dealers."""
+        bit = 0
+        for dealer, grade in sorted(self.grades.items()):
+            if grade >= GRADE_LOW:
+                bit ^= self.recovered.get(dealer, 0) & 1
+        return bit
+
+    def run_round(self, round_index: int, ctx: InstanceContext, sending: bool) -> None:
+        """Dispatch one round's send or update handler."""
+        handlers = {
+            ROUND_SHARE: (self.send_share, self.update_share),
+            ROUND_EXCHANGE: (self.send_exchange, self.update_exchange),
+            ROUND_VOTE: (self.send_vote, self.update_vote),
+            ROUND_RECOVER: (self.send_recover, self.update_recover),
+        }
+        send_handler, update_handler = handlers[round_index]
+        if sending:
+            send_handler(ctx)
+        else:
+            update_handler(ctx)
+
+    def scramble(self, rng: random.Random) -> None:
+        """Transient fault: redraw every field within its domain."""
+        modulus = self.field.modulus
+        self.my_secret = rng.randrange(2)
+        self.rows = {
+            dealer: tuple(rng.randrange(modulus) for _ in range(self.f + 1))
+            for dealer in range(self.n)
+            if rng.random() < 0.5
+        }
+        self.cross_points = {
+            sender: {
+                dealer: rng.randrange(modulus)
+                for dealer in range(self.n)
+                if rng.random() < 0.5
+            }
+            for sender in range(self.n)
+            if rng.random() < 0.5
+        }
+        self.votes = {
+            sender: frozenset(
+                dealer for dealer in range(self.n) if rng.random() < 0.5
+            )
+            for sender in range(self.n)
+            if rng.random() < 0.5
+        }
+        self.grades = {
+            dealer: rng.choice((GRADE_NONE, GRADE_LOW, GRADE_HIGH))
+            for dealer in range(self.n)
+        }
+        self.recovered = {
+            dealer: rng.randrange(modulus)
+            for dealer in range(self.n)
+            if rng.random() < 0.5
+        }

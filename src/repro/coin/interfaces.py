@@ -1,0 +1,124 @@
+"""Interfaces for probabilistic coin-flipping algorithms (Definition 2.6).
+
+A :class:`CoinAlgorithm` describes a synchronous protocol ``A`` with:
+
+* ``rounds`` — the termination bound Δ_A (Definition 2.6 *termination*);
+* ``p0`` / ``p1`` — claimed lower bounds on the probabilities of events E0
+  (all non-faulty output 0) and E1 (all non-faulty output 1);
+* a factory for per-node :class:`CoinInstance` state machines.
+
+Instances are *not* network components: the ss-Byz-Coin-Flip pipeline
+(Fig. 1) owns Δ_A of them concurrently and multiplexes their traffic over
+its own component path, tagging payloads with the slot index — the paper's
+"session numbers" (§2.1) that let concurrent invocations coexist and be
+recycled without unbounded counters.  An :class:`InstanceContext` gives an
+instance its per-round messaging window.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.environment import Environment
+
+__all__ = ["CoinAlgorithm", "CoinInstance", "InstanceContext"]
+
+
+class InstanceContext:
+    """One round's view of the network for one pipelined coin instance."""
+
+    __slots__ = ("node_id", "n", "f", "beat", "rng", "env", "path", "inbox", "_emit")
+
+    def __init__(
+        self,
+        *,
+        node_id: int,
+        n: int,
+        f: int,
+        beat: int,
+        rng: random.Random,
+        env: "Environment",
+        path: str,
+        inbox: list[tuple[int, Any]],
+        emit: Callable[[int, Hashable], None] | None,
+    ) -> None:
+        self.node_id = node_id
+        self.n = n
+        self.f = f
+        self.beat = beat
+        self.rng = rng
+        self.env = env
+        #: Routing path of this slot; identical at every node, so it doubles
+        #: as the shared key for oracle-coin outcome resolution.
+        self.path = path
+        #: ``(sender, payload)`` pairs delivered to this slot this beat.
+        self.inbox = inbox
+        self._emit = emit
+
+    def send(self, receiver: int, payload: Hashable) -> None:
+        """Send a private point-to-point message within this instance."""
+        if self._emit is None:
+            raise RuntimeError("sending is only legal during the send phase")
+        self._emit(receiver, payload)
+
+    def broadcast(self, payload: Hashable) -> None:
+        """Send ``payload`` to every node within this instance."""
+        for receiver in range(self.n):
+            self.send(receiver, payload)
+
+    def first_per_sender(self) -> dict[int, Any]:
+        """Inbox collapsed to one payload per sender (first wins).
+
+        Byzantine nodes may send several conflicting messages to the same
+        slot; honest protocols must pick deterministically, and "first
+        after sender-sorted delivery" is the convention used throughout.
+        """
+        collapsed: dict[int, Any] = {}
+        for sender, payload in self.inbox:
+            if sender not in collapsed:
+                collapsed[sender] = payload
+        return collapsed
+
+
+class CoinAlgorithm(abc.ABC):
+    """A probabilistic coin-flipping algorithm (Definition 2.6)."""
+
+    #: Human-readable name used in traces and experiment reports.
+    name: str = "coin"
+    #: Termination bound Δ_A: rounds of send-and-receive per instance.
+    rounds: int = 1
+    #: Claimed lower bound for P(all non-faulty output 0).
+    p0: float = 0.0
+    #: Claimed lower bound for P(all non-faulty output 1).
+    p1: float = 0.0
+
+    @abc.abstractmethod
+    def new_instance(self) -> "CoinInstance":
+        """Create fresh per-node state for one invocation of ``A``."""
+
+
+class CoinInstance(abc.ABC):
+    """Per-node state of one invocation of a coin-flipping algorithm.
+
+    The pipeline drives each instance through rounds ``1 .. rounds``; after
+    ``update_round(rounds, ...)`` the instance must report a binary output.
+    """
+
+    @abc.abstractmethod
+    def send_round(self, round_index: int, ctx: InstanceContext) -> None:
+        """Emit round ``round_index``'s messages."""
+
+    @abc.abstractmethod
+    def update_round(self, round_index: int, ctx: InstanceContext) -> None:
+        """Consume round ``round_index``'s inbox."""
+
+    @abc.abstractmethod
+    def output(self) -> int:
+        """The instance's binary output (valid after the final round)."""
+
+    @abc.abstractmethod
+    def scramble(self, rng: random.Random) -> None:
+        """Transient fault: redraw all state within its domains."""

@@ -1,0 +1,54 @@
+"""The local coin: private per-node randomness with no agreement at all.
+
+This is *not* a probabilistic coin-flipping algorithm in the paper's sense —
+events E0/E1 occur only with probability ``2^-(n-f-1)``-ish, not constant —
+and it exists precisely to quantify that gap.  Plugging it into
+ss-Byz-2-Clock reproduces the expected-exponential behaviour of the older
+Dolev-Welch line of algorithms (Table 1, rows [10]) and the
+``bench_table1`` / ablation benches measure the collapse.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.coin.interfaces import CoinAlgorithm, CoinInstance, InstanceContext
+from repro.errors import ConfigurationError
+
+__all__ = ["LocalCoin", "LocalCoinInstance"]
+
+
+class LocalCoin(CoinAlgorithm):
+    """Each node flips its own private coin; outputs are independent."""
+
+    def __init__(self, rounds: int = 1) -> None:
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        self.name = f"local(rounds={rounds})"
+        self.rounds = rounds
+        # Probability that *all* non-faulty nodes happen to agree is not a
+        # constant; we record zero claims so analysis code never assumes one.
+        self.p0 = 0.0
+        self.p1 = 0.0
+
+    def new_instance(self) -> "LocalCoinInstance":
+        return LocalCoinInstance(self)
+
+
+class LocalCoinInstance(CoinInstance):
+    def __init__(self, algorithm: LocalCoin) -> None:
+        self.algorithm = algorithm
+        self._output = 0
+
+    def send_round(self, round_index: int, ctx: InstanceContext) -> None:
+        """No traffic: the flip is private."""
+
+    def update_round(self, round_index: int, ctx: InstanceContext) -> None:
+        if round_index == self.algorithm.rounds:
+            self._output = ctx.rng.randrange(2)
+
+    def output(self) -> int:
+        return self._output
+
+    def scramble(self, rng: random.Random) -> None:
+        self._output = rng.randrange(2)

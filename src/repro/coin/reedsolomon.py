@@ -1,0 +1,169 @@
+"""Berlekamp-Welch error-correcting decoding over a prime field.
+
+The GVSS recover phase reconstructs a degree-``f`` secret polynomial from
+``m`` broadcast share points of which up to ``f`` may be Byzantine lies.
+Unique decoding succeeds whenever ``m >= degree + 1 + 2*errors``; with
+``n >= 3f + 1`` nodes, degree ``f`` and at most ``f`` lies, that bound is
+exactly met, which is why the paper's resilience is tight.
+
+The classic Berlekamp-Welch linearization: find an error locator
+``E(x)`` (monic, degree ``e``) and ``Q(x)`` (degree <= ``deg + e``) with
+``Q(x_i) = y_i * E(x_i)`` for every received point.  Whenever the true
+error count is at most ``e``, every solution of that linear system
+satisfies ``Q = P * E`` for the true polynomial ``P``, so ``P = Q / E``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.coin.field import PrimeField
+from repro.coin.polynomial import Coeffs, evaluate, interpolate, normalize, poly_divmod
+from repro.errors import DecodingError
+
+__all__ = ["decode", "decode_best_effort"]
+
+
+def _solve_linear_system(
+    field: PrimeField, matrix: list[list[int]], rhs: list[int]
+) -> list[int] | None:
+    """Gaussian elimination over GF(p); returns one solution or ``None``.
+
+    Under-determined systems return the particular solution with free
+    variables set to zero, which is sufficient for Berlekamp-Welch.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    augmented = [list(row) + [value] for row, value in zip(matrix, rhs)]
+    pivot_columns: list[int] = []
+    row_index = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(row_index, rows) if augmented[r][col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        augmented[row_index], augmented[pivot_row] = (
+            augmented[pivot_row],
+            augmented[row_index],
+        )
+        inv = field.inv(augmented[row_index][col])
+        augmented[row_index] = [field.mul(v, inv) for v in augmented[row_index]]
+        for r in range(rows):
+            if r != row_index and augmented[r][col] != 0:
+                factor = augmented[r][col]
+                augmented[r] = [
+                    field.sub(v, field.mul(factor, p))
+                    for v, p in zip(augmented[r], augmented[row_index])
+                ]
+        pivot_columns.append(col)
+        row_index += 1
+        if row_index == rows:
+            break
+    # Inconsistent system: a zero row with non-zero rhs.
+    for r in range(row_index, rows):
+        if augmented[r][cols] != 0 and all(v == 0 for v in augmented[r][:cols]):
+            return None
+    solution = [0] * cols
+    for r, col in enumerate(pivot_columns):
+        solution[col] = augmented[r][cols]
+    return solution
+
+
+def _attempt(
+    field: PrimeField,
+    points: Sequence[tuple[int, int]],
+    degree: int,
+    errors: int,
+) -> Coeffs | None:
+    """Try to decode assuming at most ``errors`` corrupted points."""
+    if errors == 0:
+        candidate = interpolate(field, list(points[: degree + 1]))
+        if len(candidate) > degree + 1:
+            return None
+        if all(evaluate(field, candidate, x) == y % field.modulus for x, y in points):
+            return candidate
+        return None
+    num_q = degree + errors + 1
+    matrix: list[list[int]] = []
+    rhs: list[int] = []
+    for x, y in points:
+        x = x % field.modulus
+        y = y % field.modulus
+        # Q(x) - y * (e_0 + e_1 x + ... + e_{errors-1} x^{errors-1})
+        #   = y * x^errors
+        row = [field.pow(x, k) for k in range(num_q)]
+        row.extend(
+            field.neg(field.mul(y, field.pow(x, k))) for k in range(errors)
+        )
+        matrix.append(row)
+        rhs.append(field.mul(y, field.pow(x, errors)))
+    solution = _solve_linear_system(field, matrix, rhs)
+    if solution is None:
+        return None
+    q_coeffs = normalize(solution[:num_q])
+    e_coeffs = normalize(list(solution[num_q:]) + [1])  # monic locator
+    quotient, remainder = poly_divmod(field, q_coeffs, e_coeffs)
+    if remainder:
+        return None
+    if len(quotient) > degree + 1:
+        return None
+    matches = sum(
+        1 for x, y in points if evaluate(field, quotient, x) == y % field.modulus
+    )
+    if matches < len(points) - errors:
+        return None
+    return quotient
+
+
+def decode(
+    field: PrimeField,
+    points: Sequence[tuple[int, int]],
+    degree: int,
+    max_errors: int,
+) -> Coeffs:
+    """Decode a degree-``degree`` polynomial from noisy ``points``.
+
+    Tries error counts from ``max_errors`` down to zero (capped by the
+    information-theoretic bound for the number of points supplied) and
+    returns the first — necessarily unique — consistent codeword.  Raises
+    :class:`~repro.errors.DecodingError` when no codeword within the error
+    budget explains the points.
+    """
+    distinct = {x % field.modulus for x, _ in points}
+    if len(distinct) != len(points):
+        raise DecodingError("duplicate x coordinates in received shares")
+    if len(points) < degree + 1:
+        raise DecodingError(
+            f"need at least {degree + 1} points for degree {degree}, "
+            f"got {len(points)}"
+        )
+    budget = min(max_errors, (len(points) - degree - 1) // 2)
+    for errors in range(budget, -1, -1):
+        candidate = _attempt(field, points, degree, errors)
+        if candidate is not None:
+            return candidate
+    raise DecodingError(
+        f"no degree-{degree} polynomial within {budget} errors "
+        f"explains {len(points)} points"
+    )
+
+
+def decode_best_effort(
+    field: PrimeField,
+    points: Sequence[tuple[int, int]],
+    degree: int,
+    max_errors: int,
+    fallback: int = 0,
+) -> int:
+    """Decode and evaluate at zero, or return ``fallback`` on failure.
+
+    The GVSS recover phase must terminate with *some* deterministic value
+    even for garbage dealt by a Byzantine dealer; honest dealers always
+    decode successfully, so the fallback never triggers for them.
+    """
+    try:
+        poly = decode(field, points, degree, max_errors)
+    except DecodingError:
+        return fallback
+    return evaluate(field, poly, 0)

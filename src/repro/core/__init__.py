@@ -1,0 +1,40 @@
+"""The paper's algorithms: Figures 1-4 and the §5 recursive construction."""
+
+from repro.core.cascade import CascadedClock, squaring_tower
+from repro.core.clock2 import SSByz2Clock
+from repro.core.clock4 import SSByz4Clock
+from repro.core.clock_sync import SSByzClockSync
+from repro.core.majority import (
+    BOTTOM,
+    count_values,
+    first_payload_per_sender,
+    most_frequent,
+    value_with_count_at_least,
+)
+from repro.core.pipeline import CoinFlipPipeline
+from repro.core.power_of_two import RecursiveDoublingClock
+from repro.core.problem import (
+    ClockProtocol,
+    closure_holds,
+    converged_at,
+    is_clock_synched,
+)
+
+__all__ = [
+    "BOTTOM",
+    "CascadedClock",
+    "ClockProtocol",
+    "CoinFlipPipeline",
+    "squaring_tower",
+    "RecursiveDoublingClock",
+    "SSByz2Clock",
+    "SSByz4Clock",
+    "SSByzClockSync",
+    "closure_holds",
+    "converged_at",
+    "count_values",
+    "first_payload_per_sender",
+    "is_clock_synched",
+    "most_frequent",
+    "value_with_count_at_least",
+]

@@ -1,0 +1,190 @@
+"""ss-Byz-Clock-Sync (Figure 4): the k-Clock problem for any k.
+
+A ss-Byz-4-Clock gives every correct node a common 4-phase schedule; the
+four phases implement a Turpin-Coan-style multivalued vote on the full
+clock, with Rabin-style coin fallback (the paper cites exactly that
+combination):
+
+* phase 0 — broadcast ``full_clock``;
+* phase 1 — *propose* the value seen ``n - f`` times in the previous beat
+  (else ⊥) and broadcast it;
+* phase 2 — ``save`` := majority non-⊥ proposal; broadcast ``bit`` = 1 iff
+  that proposal reached ``n - f`` copies (then ``save`` := 0 if it was ⊥);
+* phase 3 — adopt ``save + 3`` on ``n - f`` ones, adopt 0 on ``n - f``
+  zeros, otherwise let the beat's common coin choose between the two.
+
+Through every beat ``full_clock`` increments mod k (line 2), so once an
+agreement sticks the system is clock-synched and stays so (Lemma 6); each
+4-beat cycle succeeds with constant probability (Lemma 8), giving expected
+constant convergence for every k (Theorem 4) — with message size the only
+k-dependence.
+
+The coin stream: Remark 4.1 notes the construction may either run its own
+coin pipeline or share one with the 4-clock's 2-clocks.  ``share_coin``
+selects the optimized variant; the default runs a dedicated pipeline, the
+most literal reading of the figure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.coin.interfaces import CoinAlgorithm
+from repro.core.clock4 import SSByz4Clock
+from repro.core.majority import (
+    BOTTOM,
+    count_values,
+    first_payload_per_sender,
+    most_frequent,
+    value_with_count_at_least,
+)
+from repro.core.pipeline import CoinFlipPipeline
+from repro.errors import ConfigurationError
+from repro.net.component import BeatContext, Component
+
+__all__ = ["SSByzClockSync"]
+
+_KINDS = ("fc", "prop", "bit")
+
+
+class SSByzClockSync(Component):
+    """Solves the k-Clock problem for any k (Theorem 4).
+
+    Args:
+        k: the clock modulus (any integer >= 1).
+        coin_factory: builds one coin algorithm per pipeline; called three
+            times by default (A1, A2, and this layer's own stream), twice
+            when ``share_coin`` is set.
+        share_coin: reuse A1's coin pipeline for phase 3 (Remark 4.1).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        coin_factory: Callable[[], CoinAlgorithm],
+        *,
+        share_coin: bool = False,
+    ) -> None:
+        super().__init__()
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.modulus = k
+        self.share_coin = share_coin
+        self.a: SSByz4Clock = self.add_child("A", SSByz4Clock(coin_factory))
+        if share_coin:
+            self._pipeline: CoinFlipPipeline = self.a.a1.pipeline
+        else:
+            self._pipeline = self.add_child(
+                "coin", CoinFlipPipeline(coin_factory())
+            )
+        #: The synchronized digital clock; domain {0, ..., k-1}.
+        self.full_clock = 0
+        #: Phase-2 candidate value carried into phase 3; domain {0..k-1}.
+        self.save = 0
+        #: clock(A) at the beginning of the current beat (the figure's
+        #: footnote); None when A's clock is still ⊥.
+        self._phase: int | None = None
+        #: One payload per sender received in the previous beat.
+        self._previous: dict[int, Any] = {}
+
+    @property
+    def clock_value(self) -> int:
+        """Uniform probe interface shared by every clock component."""
+        return self.full_clock
+
+    # -- helpers over the previous beat's inbox --------------------------------
+
+    def _previous_values(self, kind: str) -> list[Any]:
+        """Well-formed ``kind`` payload values from the previous beat."""
+        values = []
+        for payload in self._previous.values():
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == kind
+            ):
+                values.append(payload[1])
+        return values
+
+    # -- beat handlers -------------------------------------------------------
+
+    def on_send(self, ctx: BeatContext) -> None:
+        # Figure 4, line 3 footnote: dispatch on clock(A) at the *beginning*
+        # of the beat, captured before A's beat advances it.
+        clock_a = self.a.clock
+        self._phase = clock_a if clock_a in (0, 1, 2, 3) else None
+        # Line 1 (send half): execute a single beat of A.
+        ctx.run_child("A")
+        if not self.share_coin:
+            ctx.run_child("coin")
+        # Line 2: the full clock ticks every beat.
+        self.full_clock = (self.full_clock + 1) % self.k
+        if self._phase == 0:
+            # Block 3.a: broadcast the (just incremented) full clock.
+            ctx.broadcast(("fc", self.full_clock))
+        elif self._phase == 1:
+            # Block 3.b: propose the value received n-f times last beat.
+            proposal = value_with_count_at_least(
+                self._previous_values("fc"), ctx.n - ctx.f
+            )
+            ctx.broadcast(("prop", proposal))
+        elif self._phase == 2:
+            # Block 3.c: save := majority non-⊥ proposal; bit := whether it
+            # reached n - f copies; then default save to 0 if it was ⊥.
+            proposals = [
+                value for value in self._previous_values("prop")
+                if value is not BOTTOM
+            ]
+            majority_value, majority_count = most_frequent(count_values(proposals))
+            if majority_value is not BOTTOM and majority_count >= ctx.n - ctx.f:
+                bit = 1
+            else:
+                bit = 0
+            ctx.broadcast(("bit", bit))
+            if majority_value is BOTTOM or not isinstance(majority_value, int):
+                self.save = 0
+            else:
+                self.save = majority_value % self.k
+        # Phase 3 (and an unconverged A) sends nothing at this layer.
+
+    def on_update(self, ctx: BeatContext) -> None:
+        ctx.run_child("A")
+        if not self.share_coin:
+            ctx.run_child("coin")
+        if self._phase == 3:
+            # Block 3.d: decide from the previous beat's bits; fall back to
+            # the beat's coin, which was resolved only after this beat's
+            # messages committed (Lemma 8's independence argument).
+            bits = self._previous_values("bit")
+            ones = sum(1 for bit in bits if bit == 1)
+            zeros = sum(1 for bit in bits if bit == 0)
+            threshold = ctx.n - ctx.f
+            if ones >= threshold:
+                self.full_clock = (self.save + 3) % self.k
+            elif zeros >= threshold:
+                self.full_clock = 0
+            elif self._pipeline.rand == 1:
+                self.full_clock = (self.save + 3) % self.k
+            else:
+                self.full_clock = 0
+        self._previous = first_payload_per_sender(ctx.inbox)
+
+    def scramble(self, rng: random.Random) -> None:
+        self.full_clock = rng.randrange(self.k)
+        self.save = rng.randrange(self.k)
+        self._phase = rng.choice((0, 1, 2, 3, None))
+        scrambled: dict[int, Any] = {}
+        for sender in range(max(1, rng.randrange(16))):
+            kind = rng.choice(_KINDS)
+            if kind == "fc":
+                scrambled[sender] = ("fc", rng.randrange(self.k))
+            elif kind == "prop":
+                scrambled[sender] = (
+                    "prop",
+                    rng.choice((BOTTOM, rng.randrange(self.k))),
+                )
+            else:
+                scrambled[sender] = ("bit", rng.randrange(2))
+        self._previous = scrambled

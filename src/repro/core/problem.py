@@ -1,0 +1,75 @@
+"""The k-Clock problem (Definitions 3.1, 3.2) as executable predicates.
+
+A clock component exposes ``clock_value`` (``int`` or ``None`` for ⊥) and
+``modulus`` (the ``k``).  The predicates below define *clock-synched*,
+*convergence* and *closure* exactly as the paper does, and the analysis
+package builds its monitors on them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "ClockProtocol",
+    "closure_holds",
+    "converged_at",
+    "is_clock_synched",
+]
+
+
+@runtime_checkable
+class ClockProtocol(Protocol):
+    """Structural interface every clock algorithm in this library exposes."""
+
+    modulus: int
+
+    @property
+    def clock_value(self) -> int | None: ...
+
+
+def is_clock_synched(values: Sequence[int | None]) -> bool:
+    """Definition 3.1: all correct nodes hold the same non-⊥ clock value."""
+    if not values:
+        return False
+    first = values[0]
+    if first is None or not isinstance(first, int):
+        return False
+    return all(value == first for value in values)
+
+
+def closure_holds(
+    previous: Sequence[int | None], current: Sequence[int | None], k: int
+) -> bool:
+    """Definition 3.2 closure step: synched at both beats, +1 mod k apart."""
+    if not (is_clock_synched(previous) and is_clock_synched(current)):
+        return False
+    return current[0] == (previous[0] + 1) % k
+
+
+def converged_at(
+    history: Sequence[Sequence[int | None]], k: int
+) -> int | None:
+    """The first index from which the history is synched *and* stays in
+    closure through its end (Definition 3.2 convergence + closure).
+
+    ``history[b]`` is the tuple of correct nodes' clock values at the end
+    of beat ``b``.  Returns ``None`` if no such index exists — including
+    the case of a synched suffix too short to witness a closure step.
+    """
+    converged_from: int | None = None
+    for beat, values in enumerate(history):
+        if not is_clock_synched(values):
+            converged_from = None
+            continue
+        if converged_from is None:
+            converged_from = beat
+        elif not closure_holds(history[beat - 1], values, k):
+            converged_from = beat
+    if converged_from is None:
+        return None
+    if converged_from == len(history) - 1 and len(history) > 1:
+        # A single synched final beat shows no closure step; treat it as
+        # unconverged rather than report a spurious success.
+        return None
+    return converged_from

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by library code derives from :class:`ReproError`, so
+downstream users can catch one base class.  Configuration errors (bad ``n``,
+``f``, ``k``) are reported eagerly at construction time, never mid-run.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or simulation was constructed with invalid parameters."""
+
+
+class ResilienceError(ConfigurationError):
+    """The requested fault count violates the protocol's resilience bound."""
+
+
+class RoutingError(ReproError):
+    """A message could not be routed to a live component path."""
+
+
+class ProtocolViolationError(ReproError):
+    """An internal protocol invariant was violated (a library bug)."""
+
+
+class DecodingError(ReproError):
+    """Reed-Solomon decoding failed (more errors than the code tolerates)."""
+
+
+def check_resilience(n: int, f: int) -> None:
+    """Validate the paper's standing assumptions: ``n >= 1`` and ``f < n/3``.
+
+    Raises :class:`ResilienceError` if ``3*f >= n`` and
+    :class:`ConfigurationError` for non-sensical sizes.  Protocols that only
+    tolerate ``f < n/4`` perform their own stricter check.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got n={n}")
+    if f < 0:
+        raise ConfigurationError(f"fault count must be non-negative, got f={f}")
+    if 3 * f >= n:
+        raise ResilienceError(
+            f"Byzantine resilience requires f < n/3, got n={n}, f={f}"
+        )

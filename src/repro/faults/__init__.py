@@ -1,0 +1,11 @@
+"""Transient faults and network incoherence (the self-stabilization model)."""
+
+from repro.faults.network_faults import inject_phantom_storm, random_phantoms
+from repro.faults.transient import TransientFaultSchedule, scramble_now
+
+__all__ = [
+    "TransientFaultSchedule",
+    "inject_phantom_storm",
+    "random_phantoms",
+    "scramble_now",
+]

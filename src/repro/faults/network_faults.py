@@ -1,0 +1,68 @@
+"""Network-level incoherence: phantom messages.
+
+Definition 2.2 item 3 only holds once the network is non-faulty; before
+that, "the communication networks' buffers may contain messages that were
+not recently sent by any currently operating node".  Phantoms may claim
+*any* sender identity (they predate the period in which identities are
+guaranteed), carry arbitrary payloads, and target arbitrary component
+paths.  Self-stabilizing protocols must converge once the burst stops;
+tests inject a storm at beat 0 and then measure a clean interval.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.net.message import Envelope
+from repro.net.simulator import Simulation
+
+__all__ = ["inject_phantom_storm", "random_phantoms"]
+
+_PAYLOAD_POOL: tuple[object, ...] = (
+    None,
+    0,
+    1,
+    2,
+    ("fc", 3),
+    ("prop", None),
+    ("bit", 1),
+    (1, ("vote", (0,))),
+    (2, ("row", (5, 6))),
+    ("garbage", 99),
+)
+
+
+def random_phantoms(
+    rng: random.Random,
+    n: int,
+    paths: Sequence[str],
+    count: int,
+    beat: int = 0,
+) -> list[Envelope]:
+    """Generate ``count`` arbitrary stale messages over the given paths."""
+    phantoms = []
+    for _ in range(count):
+        phantoms.append(
+            Envelope(
+                sender=rng.randrange(n),
+                receiver=rng.randrange(n),
+                path=rng.choice(list(paths)),
+                payload=rng.choice(_PAYLOAD_POOL),
+                beat=beat,
+            )
+        )
+    return phantoms
+
+
+def inject_phantom_storm(
+    simulation: Simulation,
+    paths: Sequence[str],
+    count: int = 200,
+) -> list[Envelope]:
+    """Queue a burst of phantoms for the next beat; returns the burst."""
+    phantoms = random_phantoms(
+        simulation.phantom_rng(), simulation.n, paths, count, simulation.beat
+    )
+    simulation.inject_phantoms(phantoms)
+    return phantoms

@@ -1,0 +1,53 @@
+"""Transient fault injection: the "self-stabilizing" half of the model.
+
+Non-faulty nodes "may be subject to transient faults that alter their
+memory in an arbitrary fashion"; a resilient protocol must converge from
+*any* memory state.  Injection is performed by redrawing every state
+variable of a node's component tree uniformly from its declared domain
+(the standard bounded-variable reading — a two-valued-plus-⊥ clock cannot
+hold 7, but it can hold any of its three values at any moment).
+
+Two entry points:
+
+* :func:`scramble_now` — immediate one-shot scramble of a node subset;
+* :class:`TransientFaultSchedule` — a monitor that scrambles given subsets
+  after given beats, for mid-run fault storms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.net.simulator import Simulation
+
+__all__ = ["TransientFaultSchedule", "scramble_now"]
+
+
+def scramble_now(
+    simulation: Simulation, node_ids: Iterable[int] | None = None
+) -> None:
+    """Scramble the given correct nodes (default: all of them) right now.
+
+    Scrambling *every* correct node before the first beat is the canonical
+    worst-case start for a self-stabilization experiment.
+    """
+    simulation.scramble(node_ids)
+
+
+class TransientFaultSchedule:
+    """Monitor that applies scheduled scrambles at the end of given beats.
+
+    ``schedule`` maps a beat number to the node ids to scramble after that
+    beat completes (``None`` meaning all correct nodes).  Convergence
+    monitors registered *before* this schedule observe the pre-fault state
+    of the beat; those registered after observe the post-fault state.
+    """
+
+    def __init__(self, schedule: dict[int, Sequence[int] | None]) -> None:
+        self.schedule = dict(schedule)
+        self.applied: list[int] = []
+
+    def __call__(self, simulation: Simulation, beat: int) -> None:
+        if beat in self.schedule:
+            simulation.scramble(self.schedule[beat])
+            self.applied.append(beat)

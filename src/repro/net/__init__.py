@@ -1,0 +1,40 @@
+"""Synchronous global-beat-system network substrate (paper §2 model)."""
+
+from repro.net.component import SEND, UPDATE, BeatContext, Component
+from repro.net.environment import (
+    EVENT_DIVERGENT,
+    EVENT_E0,
+    EVENT_E1,
+    CoinOutcome,
+    Environment,
+)
+from repro.net.message import BROADCAST, Envelope, Outbox
+from repro.net.network import MessageStats, Router
+from repro.net.node import Node
+from repro.net.rng import SeedSequence, derive_seed
+from repro.net.simulator import Monitor, Simulation
+from repro.net.trace import BeatRecord, Tracer
+
+__all__ = [
+    "BROADCAST",
+    "BeatContext",
+    "BeatRecord",
+    "CoinOutcome",
+    "Component",
+    "Environment",
+    "Envelope",
+    "EVENT_DIVERGENT",
+    "EVENT_E0",
+    "EVENT_E1",
+    "MessageStats",
+    "Monitor",
+    "Node",
+    "Outbox",
+    "Router",
+    "SEND",
+    "SeedSequence",
+    "Simulation",
+    "Tracer",
+    "UPDATE",
+    "derive_seed",
+]

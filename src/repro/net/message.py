@@ -1,0 +1,88 @@
+"""Message and envelope types for the global-beat-system network.
+
+All protocol traffic is modelled as :class:`Envelope` values: an immutable
+record of sender, receiver, the *component path* the message is addressed
+to, the payload, and the beat at which it was sent.  The component path is
+what lets many protocol instances (two 2-clocks, a coin pipeline with
+``Δ_A`` slots, ...) share one physical network without confusing each
+other's traffic — it plays the role of the paper's "session numbers"
+(Section 2.1).
+
+Payloads are plain data (ints, strings, tuples...).  Honest code only sends
+values from its declared domains; Byzantine senders may put *anything*
+hashable in a payload, and all receiving code is written to tolerate that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["BROADCAST", "Envelope", "Outbox"]
+
+#: Pseudo-destination meaning "send one copy to every node (including self)".
+BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One delivered message.
+
+    Attributes:
+        sender: node id of the (claimed and network-verified) sender.
+        receiver: node id of the destination.
+        path: component path, e.g. ``"clock_sync/A/A1/coin/slot2"``.
+        payload: arbitrary hashable application data.
+        beat: global beat index at which the message was sent.
+    """
+
+    sender: int
+    receiver: int
+    path: str
+    payload: Hashable
+    beat: int
+
+    def __repr__(self) -> str:  # compact form: traces get long otherwise
+        return (
+            f"Envelope({self.sender}->{self.receiver} @{self.beat} "
+            f"{self.path}: {self.payload!r})"
+        )
+
+
+class Outbox:
+    """Collector for messages emitted by one node during a send phase.
+
+    The network, not the component, stamps the sender id and beat: a correct
+    node cannot mis-identify itself (Definition 2.2 item 2 — sender identity
+    is not tampered with).
+    """
+
+    def __init__(self, sender: int, beat: int) -> None:
+        self._sender = sender
+        self._beat = beat
+        self._messages: list[Envelope] = []
+
+    def send(self, receiver: int, path: str, payload: Hashable) -> None:
+        """Queue a point-to-point message."""
+        self._messages.append(
+            Envelope(self._sender, int(receiver), path, payload, self._beat)
+        )
+
+    def broadcast(self, node_ids: list[int], path: str, payload: Hashable) -> None:
+        """Queue one copy of ``payload`` to every node in ``node_ids``.
+
+        The paper's footnote: "broadcast" means "send the message to all
+        nodes" — there are no broadcast channels, so a faulty node may send
+        *different* values to different nodes (equivocation).  For honest
+        nodes this helper sends identical copies.
+        """
+        for receiver in node_ids:
+            self.send(receiver, path, payload)
+
+    def drain(self) -> list[Envelope]:
+        """Return and clear all queued messages."""
+        messages, self._messages = self._messages, []
+        return messages
+
+    def __len__(self) -> int:
+        return len(self._messages)

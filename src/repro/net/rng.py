@@ -1,0 +1,69 @@
+"""Deterministic randomness plumbing for simulations.
+
+Every source of randomness in a simulation — each node's private coins, the
+adversary's choices, the environment (``nature``) that resolves oracle-coin
+events, and the transient-fault injector — draws from an independent
+:class:`random.Random` stream derived from one master seed.  Re-running a
+simulation with the same seed reproduces it bit-for-bit, which the test
+suite relies on heavily.
+
+Streams are derived with SHA-256 over a label, *not* Python's built-in
+``hash``, so results do not depend on ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+__all__ = ["derive_seed", "SeedSequence"]
+
+
+def derive_seed(master_seed: int, *labels: object) -> int:
+    """Derive a 64-bit child seed from ``master_seed`` and a label path.
+
+    The label path is rendered with ``repr`` so ints, strings and tuples all
+    produce stable, collision-resistant derivations.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(master_seed)).encode("utf-8"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(repr(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class SeedSequence:
+    """A factory of named, independent :class:`random.Random` streams.
+
+    >>> seq = SeedSequence(42)
+    >>> a = seq.stream("node", 0)
+    >>> b = seq.stream("node", 1)
+    >>> a is not b
+    True
+
+    Asking twice for the same label path returns *fresh* generators with the
+    same seed, which keeps replays deterministic even if construction order
+    changes between runs.
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = int(master_seed)
+
+    def seed_for(self, *labels: object) -> int:
+        """Return the derived integer seed for a label path."""
+        return derive_seed(self.master_seed, *labels)
+
+    def stream(self, *labels: object) -> random.Random:
+        """Return a fresh generator seeded for the given label path."""
+        return random.Random(self.seed_for(*labels))
+
+    def spawn(self, *labels: object) -> "SeedSequence":
+        """Return a child sequence rooted at the given label path."""
+        return SeedSequence(self.seed_for(*labels))
+
+    def streams(self, prefix: str, count: int) -> Iterator[random.Random]:
+        """Yield ``count`` independent streams labelled ``(prefix, i)``."""
+        for index in range(count):
+            yield self.stream(prefix, index)

@@ -1,0 +1,203 @@
+"""The global beat system: a lock-step simulation driver.
+
+One :class:`Simulation` owns the correct nodes, the adversary, the router
+and the shared environment, and advances them beat by beat:
+
+1. **begin beat** — the environment learns the new beat index;
+2. **send phase** — every correct node's component tree emits messages from
+   start-of-beat state;
+3. **adversary phase** — the (rushing) adversary inspects every message
+   addressed to a faulty node, plus the current beat's coin (§6.1), and
+   crafts the faulty nodes' messages;
+4. **delivery** — the router validates sender identities and routes all of
+   the beat's traffic (plus any queued phantom messages) into per-node,
+   per-component inboxes;
+5. **update phase** — every correct node consumes its inboxes and the coin
+   output and updates state;
+6. **monitors** — observers (convergence detectors, tracers) run.
+
+Transient faults are injected between beats with :meth:`Simulation.scramble`,
+which redraws node state from the declared variable domains — the paper's
+"memory altered in an arbitrary fashion" under the standard bounded-variable
+reading of self-stabilization.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol
+
+from repro.errors import ConfigurationError, check_resilience
+from repro.net.component import Component
+from repro.net.environment import Environment
+from repro.net.message import Envelope
+from repro.net.network import Router
+from repro.net.node import Node
+from repro.net.rng import SeedSequence
+
+if TYPE_CHECKING:  # pragma: no cover - break import cycle, typing only
+    from repro.adversary.base import Adversary
+
+__all__ = ["Monitor", "Simulation"]
+
+
+class Monitor(Protocol):
+    """Observer invoked after every beat."""
+
+    def __call__(self, simulation: "Simulation", beat: int) -> None: ...
+
+
+class Simulation:
+    """A lock-step run of one protocol stack under one adversary.
+
+    Args:
+        n: total number of nodes.
+        f: the protocol's fault parameter (must satisfy ``f < n/3``).
+        root_factory: builds the per-node root component; called once per
+            correct node with the node id.
+        adversary: controls the faulty nodes; ``None`` means a fault-free
+            run (the protocol is still parameterized by ``f``).
+        seed: master seed; equal seeds reproduce runs exactly.
+        root_path: routing prefix for the component tree.
+        enforce_resilience: set to ``False`` only for experiments that
+            deliberately cross the f < n/3 bound (the F3 resilience bench);
+            protocols are *expected* to fail there.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        root_factory: Callable[[int], Component],
+        *,
+        adversary: "Adversary | None" = None,
+        seed: int = 0,
+        root_path: str = "root",
+        enforce_resilience: bool = True,
+    ) -> None:
+        if enforce_resilience:
+            check_resilience(n, f)
+        elif n < 1 or f < 0 or f >= n:
+            raise ConfigurationError(f"nonsensical sizes n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.seed = seed
+        self.root_path = root_path
+        self.seeds = SeedSequence(seed)
+        self.env = Environment(n, self.seeds.seed_for("env"))
+        self.adversary = adversary
+        self._adversary_rng = self.seeds.stream("adversary")
+        if adversary is not None:
+            faulty = adversary.select_faulty(n, f, self._adversary_rng)
+            if len(faulty) > f:
+                raise ConfigurationError(
+                    f"adversary corrupted {len(faulty)} nodes, but f={f}"
+                )
+            if any(i not in range(n) for i in faulty):
+                raise ConfigurationError("adversary corrupted unknown node ids")
+            self.faulty_ids = frozenset(faulty)
+            adversary.setup(n, f, self.faulty_ids, self._adversary_rng)
+            self.env.divergence_chooser = adversary.choose_divergent_outputs
+        else:
+            self.faulty_ids = frozenset()
+        self.honest_ids = [i for i in range(n) if i not in self.faulty_ids]
+        self.nodes = {
+            i: Node(
+                i,
+                n,
+                f,
+                root_factory(i),
+                self.seeds.stream("node", i),
+                self.env,
+                root_path=root_path,
+            )
+            for i in self.honest_ids
+        }
+        self.router = Router(n, self.faulty_ids)
+        self.beat = 0
+        self.monitors: list[Monitor] = []
+        self._fault_rng = self.seeds.stream("faults")
+
+    # -- observation ------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Network traffic statistics (see :class:`MessageStats`)."""
+        return self.router.stats
+
+    def honest_roots(self) -> dict[int, Component]:
+        """Map of honest node id to its root component."""
+        return {i: node.root for i, node in self.nodes.items()}
+
+    def add_monitor(self, monitor: Monitor) -> None:
+        self.monitors.append(monitor)
+
+    # -- fault injection ----------------------------------------------------
+
+    def scramble(self, node_ids: Iterable[int] | None = None) -> None:
+        """Transient fault: redraw state of the given correct nodes.
+
+        Defaults to scrambling *every* correct node — the hardest starting
+        point for a self-stabilizing protocol.
+        """
+        targets = self.honest_ids if node_ids is None else list(node_ids)
+        for node_id in targets:
+            node = self.nodes.get(node_id)
+            if node is not None:
+                node.scramble(self._fault_rng)
+
+    def inject_phantoms(self, envelopes: list[Envelope]) -> None:
+        """Queue phantom messages for the next beat's delivery."""
+        self.router.inject_phantoms(envelopes)
+
+    def phantom_rng(self) -> random.Random:
+        """RNG stream reserved for phantom/fault generation helpers."""
+        return self._fault_rng
+
+    # -- execution -----------------------------------------------------------
+
+    def run_beat(self) -> None:
+        """Advance the system by one beat."""
+        beat = self.beat
+        self.env.begin_beat(beat)
+        honest_envelopes: list[Envelope] = []
+        for node in self.nodes.values():
+            honest_envelopes.extend(node.send_phase(beat))
+        byzantine_envelopes: list[Envelope] = []
+        if self.adversary is not None and self.faulty_ids:
+            from repro.adversary.base import AdversaryView
+
+            view = AdversaryView(
+                beat=beat,
+                n=self.n,
+                f=self.f,
+                faulty_ids=self.faulty_ids,
+                visible_messages=[
+                    e for e in honest_envelopes if e.receiver in self.faulty_ids
+                ],
+                env=self.env,
+                rng=self._adversary_rng,
+            )
+            byzantine_envelopes = list(self.adversary.craft_messages(view))
+        delivered = self.router.route(honest_envelopes, byzantine_envelopes)
+        for node_id, node in self.nodes.items():
+            node.update_phase(beat, delivered.get(node_id, {}))
+        for monitor in self.monitors:
+            monitor(self, beat)
+        self.beat = beat + 1
+
+    def run(self, beats: int) -> None:
+        """Advance the system by ``beats`` beats."""
+        for _ in range(beats):
+            self.run_beat()
+
+    def run_until(
+        self, predicate: Callable[["Simulation"], bool], max_beats: int
+    ) -> int | None:
+        """Run until ``predicate(self)`` holds; return the beat it first
+        held after, or ``None`` if ``max_beats`` elapsed first."""
+        for _ in range(max_beats):
+            self.run_beat()
+            if predicate(self):
+                return self.beat - 1
+        return None

@@ -1,0 +1,63 @@
+"""Lightweight structured tracing for simulations.
+
+A :class:`Tracer` is a monitor that snapshots a user-supplied probe at every
+beat; examples use it to print per-beat clock tables, and tests use it to
+assert whole-run trajectories (e.g. Lemma 6's closure pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.simulator import Simulation
+
+__all__ = ["BeatRecord", "Tracer", "format_clock_row"]
+
+
+@dataclass(frozen=True)
+class BeatRecord:
+    """One beat's probe snapshot."""
+
+    beat: int
+    values: dict[int, Any]
+
+
+class Tracer:
+    """Monitor that records ``probe(root_component)`` per honest node."""
+
+    def __init__(
+        self,
+        probe: Callable[[Any], Any],
+        *,
+        printer: Callable[[str], None] | None = None,
+    ) -> None:
+        self.probe = probe
+        self.printer = printer
+        self.records: list[BeatRecord] = []
+
+    def __call__(self, simulation: "Simulation", beat: int) -> None:
+        values = {
+            node_id: self.probe(root)
+            for node_id, root in sorted(simulation.honest_roots().items())
+        }
+        record = BeatRecord(beat, values)
+        self.records.append(record)
+        if self.printer is not None:
+            self.printer(format_clock_row(record, simulation.faulty_ids))
+
+    def series(self, node_id: int) -> list[Any]:
+        """The probe's trajectory at one node."""
+        return [record.values[node_id] for record in self.records]
+
+
+def format_clock_row(record: BeatRecord, faulty_ids: frozenset[int]) -> str:
+    """Render one beat's clock values as a fixed-width table row."""
+    cells = []
+    for node_id, value in sorted(record.values.items()):
+        text = "⊥" if value is None else str(value)
+        cells.append(f"{text:>4}")
+    for node_id in sorted(faulty_ids):
+        cells.append("   ☠")
+    return f"beat {record.beat:>4} | " + " ".join(cells)

@@ -1,0 +1,114 @@
+"""Shared test helpers: a lock-step harness for coin instances and
+simulation builders used across the suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.coin.interfaces import CoinAlgorithm, CoinInstance, InstanceContext
+from repro.net.environment import Environment
+
+# Keep hypothesis runs brisk: the properties are exercised across many
+# dedicated tests, not by huge example counts in each.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: Hook signature: (round_index, messages_visible_to_adversary) ->
+#: list of (sender, receiver, payload) triples from faulty nodes.
+ByzHook = Callable[[int, list[tuple[int, int, Any]]], list[tuple[int, int, Any]]]
+
+
+class CoinHarness:
+    """Run one invocation of a coin algorithm at every correct node.
+
+    Implements the same send-then-deliver-within-the-round semantics as the
+    ss-Byz-Coin-Flip pipeline, without the surrounding simulator, so coin
+    algorithms can be unit-tested in isolation.
+    """
+
+    def __init__(
+        self,
+        algorithm: CoinAlgorithm,
+        n: int,
+        f: int,
+        *,
+        faulty: frozenset[int] = frozenset(),
+        seed: int = 0,
+        beat: int = 7,
+        path: str = "test/slot",
+    ) -> None:
+        self.algorithm = algorithm
+        self.n = n
+        self.f = f
+        self.faulty = faulty
+        self.beat = beat
+        self.path = path
+        self.env = Environment(n, seed)
+        self.rngs = {i: random.Random(seed * 1009 + i) for i in range(n)}
+        self.instances: dict[int, CoinInstance] = {
+            i: algorithm.new_instance() for i in range(n) if i not in faulty
+        }
+        self.traffic: list[tuple[int, int, int, Any]] = []  # (round, s, r, p)
+
+    def _context(
+        self, node_id: int, inbox: list[tuple[int, Any]], collector
+    ) -> InstanceContext:
+        emit = None
+        if collector is not None:
+            def emit(receiver: int, payload: Any, _sender: int = node_id) -> None:
+                collector.append((_sender, receiver, payload))
+
+        return InstanceContext(
+            node_id=node_id,
+            n=self.n,
+            f=self.f,
+            beat=self.beat,
+            rng=self.rngs[node_id],
+            env=self.env,
+            path=self.path,
+            inbox=inbox,
+            emit=emit,
+        )
+
+    def run(self, byz_hook: ByzHook | None = None) -> dict[int, int]:
+        """Execute all rounds; return each correct node's output."""
+        for round_index in range(1, self.algorithm.rounds + 1):
+            outbox: list[tuple[int, int, Any]] = []
+            for node_id, instance in sorted(self.instances.items()):
+                instance.send_round(
+                    round_index, self._context(node_id, [], outbox)
+                )
+            if byz_hook is not None and self.faulty:
+                visible = [m for m in outbox if m[1] in self.faulty]
+                for sender, receiver, payload in byz_hook(round_index, visible):
+                    assert sender in self.faulty, "test byz hook forged sender"
+                    outbox.append((sender, receiver, payload))
+            inboxes: dict[int, list[tuple[int, Any]]] = {
+                i: [] for i in self.instances
+            }
+            for sender, receiver, payload in sorted(
+                outbox, key=lambda m: (m[1], m[0])
+            ):
+                if receiver in inboxes:
+                    inboxes[receiver].append((sender, payload))
+            for node_id, instance in sorted(self.instances.items()):
+                instance.update_round(
+                    round_index, self._context(node_id, inboxes[node_id], None)
+                )
+            for sender, receiver, payload in outbox:
+                self.traffic.append((round_index, sender, receiver, payload))
+        return {i: inst.output() for i, inst in sorted(self.instances.items())}
+
+
+@pytest.fixture
+def coin_harness() -> Callable[..., CoinHarness]:
+    return CoinHarness

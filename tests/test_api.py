@@ -1,0 +1,79 @@
+"""Top-level facade: repro.synchronize and friends."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.adversary import EquivocatorAdversary
+from repro.errors import ConfigurationError, ResilienceError
+
+
+class TestSynchronize:
+    def test_defaults_converge(self):
+        result = repro.synchronize(n=4, f=1, k=10, seed=0, max_beats=150)
+        assert result.converged
+        assert result.history[-1][0] == result.history[-1][1]
+
+    def test_gvss_coin(self):
+        result = repro.synchronize(
+            n=4, f=1, k=10, coin="gvss", seed=1, max_beats=150
+        )
+        assert result.converged
+
+    def test_local_coin_accepted_for_ablations(self):
+        result = repro.synchronize(
+            n=4, f=1, k=2, coin="local", seed=2, max_beats=400
+        )
+        # May or may not converge quickly — but it must run and report.
+        assert result.beats_run == 400
+
+    def test_with_adversary(self):
+        result = repro.synchronize(
+            n=7,
+            f=2,
+            k=12,
+            adversary=EquivocatorAdversary(),
+            seed=3,
+            max_beats=300,
+        )
+        assert result.converged
+
+    def test_unknown_coin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.synchronize(n=4, f=1, k=10, coin="quantum")
+
+    def test_resilience_enforced(self):
+        with pytest.raises(ResilienceError):
+            repro.synchronize(n=6, f=2, k=10)
+
+    def test_no_scramble_starts_clean(self):
+        result = repro.synchronize(
+            n=4, f=1, k=10, seed=4, max_beats=60, scramble=False
+        )
+        assert result.converged_beat is not None
+        assert result.converged_beat <= 10
+
+    def test_deterministic_per_seed(self):
+        a = repro.synchronize(n=4, f=1, k=10, seed=9, max_beats=60)
+        b = repro.synchronize(n=4, f=1, k=10, seed=9, max_beats=60)
+        assert a.history == b.history
+
+
+class TestCoinByName:
+    def test_factories_fresh_per_call(self):
+        factory = repro.coin_by_name("oracle", 4, 1)
+        assert factory() is not factory()
+
+    def test_gvss_bound_to_system(self):
+        coin = repro.coin_by_name("gvss", 7, 2)()
+        assert coin.n == 7 and coin.f == 2
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2

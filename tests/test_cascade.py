@@ -1,0 +1,117 @@
+"""§5 product composition: cascades and the squaring tower."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.coin.oracle import OracleCoin
+from repro.core.cascade import CascadedClock, squaring_tower
+from repro.core.clock2 import SSByz2Clock
+from repro.core.clock_sync import SSByzClockSync
+from repro.errors import ConfigurationError
+from repro.net.simulator import Simulation
+
+COIN = lambda: OracleCoin(p0=0.4, p1=0.4, rounds=2)
+
+
+def run_clock(factory, k, seed=0, beats=300, n=4, f=1):
+    sim = Simulation(n, f, factory, seed=seed)
+    monitor = ClockConvergenceMonitor(k=k)
+    sim.add_monitor(monitor)
+    sim.scramble()
+    sim.run(beats)
+    return monitor
+
+
+class TestCascadedClock:
+    def test_modulus_is_product(self):
+        cascade = CascadedClock(
+            lambda: SSByz2Clock(COIN()), lambda: SSByz2Clock(COIN())
+        )
+        assert cascade.modulus == 4
+
+    def test_reproduces_fig3_semantics(self):
+        """2-clock × 2-clock must behave exactly like ss-Byz-4-Clock."""
+        monitor = run_clock(
+            lambda i: CascadedClock(
+                lambda: SSByz2Clock(COIN()), lambda: SSByz2Clock(COIN())
+            ),
+            k=4,
+            seed=1,
+        )
+        beat = monitor.convergence_beat()
+        assert beat is not None
+        tail = [values[0] for values in monitor.history[beat:]]
+        for previous, current in zip(tail, tail[1:]):
+            assert current == (previous + 1) % 4
+
+    def test_heterogeneous_composition(self):
+        """§5 is not limited to powers of two: a 2-clock over a k=5
+        ss-Byz-Clock-Sync yields a 10-clock."""
+        factory = lambda i: CascadedClock(
+            lambda: SSByzClockSync(5, COIN), lambda: SSByz2Clock(COIN())
+        )
+        monitor = run_clock(factory, k=10, seed=2)
+        beat = monitor.convergence_beat()
+        assert beat is not None
+        tail = [values[0] for values in monitor.history[beat:]]
+        for previous, current in zip(tail, tail[1:]):
+            assert current == (previous + 1) % 10
+
+    def test_requires_clock_interface(self):
+        from repro.net.component import Component
+
+        with pytest.raises(ConfigurationError):
+            CascadedClock(lambda: Component(), lambda: SSByz2Clock(COIN()))
+
+    def test_scramble_domain(self):
+        import random
+
+        cascade = CascadedClock(
+            lambda: SSByz2Clock(COIN()), lambda: SSByz2Clock(COIN())
+        )
+        rng = random.Random(3)
+        for _ in range(20):
+            cascade.scramble(rng)
+            assert cascade.clock is None or 0 <= cascade.clock < 4
+
+
+class TestSquaringTower:
+    def test_levels_validation(self):
+        with pytest.raises(ConfigurationError):
+            squaring_tower(-1, lambda: SSByz2Clock(COIN()))
+
+    def test_level_zero_is_base(self):
+        tower = squaring_tower(0, lambda: SSByz2Clock(COIN()))
+        assert tower.modulus == 2
+
+    @pytest.mark.parametrize("levels,expected", [(1, 4), (2, 16)])
+    def test_modulus_squares_per_level(self, levels, expected):
+        tower = squaring_tower(levels, lambda: SSByz2Clock(COIN()))
+        assert tower.modulus == expected
+
+    def test_level_two_tower_counts_mod_16(self):
+        monitor = run_clock(
+            lambda i: squaring_tower(2, lambda: SSByz2Clock(COIN())),
+            k=16,
+            seed=4,
+            beats=600,
+        )
+        beat = monitor.convergence_beat()
+        assert beat is not None
+        tail = [values[0] for values in monitor.history[beat:]]
+        for previous, current in zip(tail, tail[1:]):
+            assert current == (previous + 1) % 16
+
+    def test_loglog_depth(self):
+        """levels layers give modulus 2^(2^levels): depth log log k."""
+        tower = squaring_tower(2, lambda: SSByz2Clock(COIN()))
+        depth = 0
+        from repro.core.cascade import CascadedClock as CC
+
+        node = tower
+        while isinstance(node, CC):
+            depth += 1
+            node = node.fast
+        assert depth == 2 and tower.modulus == 16

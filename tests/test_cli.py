@@ -1,0 +1,104 @@
+"""CLI behaviour: every command runs, is deterministic, and exits cleanly."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import ADVERSARIES, main
+
+
+class TestDemo:
+    def test_demo_converges(self, capsys):
+        code = main(["demo", "--n", "4", "--f", "1", "--k", "10", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged at beat" in out
+
+    def test_demo_with_adversary(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--n", "4", "--f", "1", "--k", "8",
+                "--adversary", "equivocator",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_demo_gvss_coin(self, capsys):
+        code = main(
+            ["demo", "--n", "4", "--f", "1", "--k", "8", "--coin", "gvss",
+             "--seed", "3", "--beats", "80"]
+        )
+        assert code == 0
+
+    def test_demo_nonconvergence_exit_code(self, capsys):
+        # The local coin at a hard size within a tiny budget: must report
+        # failure through the exit code rather than pretending.
+        code = main(
+            ["demo", "--n", "10", "--f", "3", "--k", "8", "--coin", "local",
+             "--seed", "1", "--beats", "10"]
+        )
+        assert code == 1
+        assert "did not converge" in capsys.readouterr().out
+
+    def test_demo_deterministic(self, capsys):
+        main(["demo", "--n", "4", "--f", "1", "--k", "10", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["demo", "--n", "4", "--f", "1", "--k", "10", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestOtherCommands:
+    def test_table1(self, capsys):
+        code = main(
+            ["table1", "--n", "4", "--f", "1", "--k", "4", "--seeds", "2",
+             "--beats", "300"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "current paper" in out
+        assert "deterministic" in out
+
+    def test_coin_stream(self, capsys):
+        code = main(["coin", "--n", "4", "--f", "1", "--beats", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement: 10/10" in out
+
+    def test_coin_stream_under_mixed_dealing_reports_divergence(self, capsys):
+        code = main(
+            ["coin", "--n", "4", "--f", "1", "--beats", "10",
+             "--adversary", "mixed-dealing", "--seed", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "divergent" in out
+
+    def test_adversaries_listing(self, capsys):
+        code = main(["adversaries"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ADVERSARIES:
+            assert name in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "demo", "--n", "4", "--f", "1",
+             "--k", "6", "--seed", "1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr[-1500:]
+        assert "converged" in result.stdout

@@ -1,0 +1,195 @@
+"""ss-Byz-Clock-Sync (Fig. 4): Lemmas 6-8 and Theorem 4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    EquivocatorAdversary,
+    RandomNoiseAdversary,
+    SplitWorldAdversary,
+)
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.coin.oracle import OracleCoin
+from repro.core.clock_sync import SSByzClockSync
+from repro.errors import ConfigurationError
+from repro.net.simulator import Simulation
+
+
+def sync_sim(n=4, f=1, k=10, adversary=None, seed=0, share_coin=False):
+    coin_factory = lambda: OracleCoin(p0=0.35, p1=0.35, rounds=2)
+    sim = Simulation(
+        n,
+        f,
+        lambda i: SSByzClockSync(k, coin_factory, share_coin=share_coin),
+        adversary=adversary,
+        seed=seed,
+    )
+    monitor = ClockConvergenceMonitor(k=k)
+    sim.add_monitor(monitor)
+    return sim, monitor
+
+
+class TestConstruction:
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            SSByzClockSync(0, lambda: OracleCoin())
+
+    def test_clock_value_is_full_clock(self):
+        sim, _ = sync_sim()
+        root = sim.nodes[0].root
+        root.full_clock = 7
+        assert root.clock_value == 7
+
+    def test_share_coin_reuses_a1_pipeline(self):
+        sim, _ = sync_sim(share_coin=True)
+        root = sim.nodes[0].root
+        assert root._pipeline is root.a.a1.pipeline
+
+    def test_dedicated_pipeline_by_default(self):
+        sim, _ = sync_sim()
+        root = sim.nodes[0].root
+        assert root._pipeline is not root.a.a1.pipeline
+
+
+class TestLemma6Closure:
+    """Once full clocks agree at a phase-3 beat, they advance +1 mod k."""
+
+    def test_closure_after_convergence(self):
+        sim, monitor = sync_sim(k=10, seed=1)
+        sim.scramble()
+        sim.run(200)
+        beat = monitor.convergence_beat()
+        assert beat is not None
+        tail = [values[0] for values in monitor.history[beat:]]
+        for previous, current in zip(tail, tail[1:]):
+            assert current == (previous + 1) % 10
+
+    def test_closure_under_adversary(self):
+        sim, monitor = sync_sim(
+            n=7, f=2, k=12, adversary=SplitWorldAdversary(), seed=2
+        )
+        sim.scramble()
+        sim.run(250)
+        beat = monitor.convergence_beat()
+        assert beat is not None
+        assert monitor.stayed_in_closure(beat)
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: None,
+            CrashAdversary,
+            RandomNoiseAdversary,
+            EquivocatorAdversary,
+            SplitWorldAdversary,
+        ],
+    )
+    def test_converges_for_k10(self, adversary_factory):
+        sim, monitor = sync_sim(
+            n=7, f=2, k=10, adversary=adversary_factory(), seed=3
+        )
+        sim.scramble()
+        sim.run(250)
+        assert monitor.convergence_beat() is not None
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8, 60, 256])
+    def test_any_k(self, k):
+        """The k-Clock problem 'for any value of k' — including k that are
+        not powers of two and the degenerate k=1."""
+        sim, monitor = sync_sim(n=4, f=1, k=k, seed=4)
+        sim.scramble()
+        sim.run(200)
+        assert monitor.convergence_beat() is not None, f"k={k} failed"
+
+    def test_latency_independent_of_k(self):
+        """Theorem 4's constant does not grow with k (message size does)."""
+        means = {}
+        for k in (4, 64, 1024):
+            latencies = []
+            for seed in range(8):
+                sim, monitor = sync_sim(n=4, f=1, k=k, seed=seed)
+                sim.scramble()
+                sim.run(250)
+                beat = monitor.convergence_beat()
+                assert beat is not None
+                latencies.append(beat)
+            means[k] = sum(latencies) / len(latencies)
+        assert means[1024] < means[4] * 3 + 10
+
+    def test_share_coin_variant_converges(self):
+        """Remark 4.1's optimization must not break correctness."""
+        for seed in range(6):
+            sim, monitor = sync_sim(n=4, f=1, k=10, seed=seed, share_coin=True)
+            sim.scramble()
+            sim.run(250)
+            assert monitor.convergence_beat() is not None
+
+
+class TestPhaseLogic:
+    def test_full_clock_ticks_every_beat_before_convergence_too(self):
+        sim, _ = sync_sim(k=100, seed=5)
+        root = sim.nodes[0].root
+        root.full_clock = 10
+        root.a.clock = None  # A unconverged: only line 2 may touch the clock
+        sim.run_beat()
+        assert root.full_clock == 11
+
+    def test_phase_captured_at_start_of_beat(self):
+        sim, _ = sync_sim(seed=6)
+        root = sim.nodes[0].root
+        root.a.clock = 2
+        sim.run_beat()
+        # During the beat A's clock advanced, but the dispatch must have
+        # used the start-of-beat value 2 (recorded in _phase).
+        assert root._phase == 2
+
+    def test_save_in_domain_after_phase2(self):
+        sim, _ = sync_sim(k=10, seed=7)
+        sim.run(60)
+        for node in sim.nodes.values():
+            assert 0 <= node.root.save < 10
+
+
+class TestSelfStabilization:
+    def test_reconverges_after_midrun_scramble(self):
+        sim, monitor = sync_sim(n=4, f=1, k=10, seed=8)
+        sim.scramble()
+        sim.run(120)
+        first = monitor.convergence_beat()
+        assert first is not None
+        sim.scramble()
+        sim.run(160)
+        assert monitor.convergence_beat(from_beat=120) is not None
+
+    def test_scramble_domains(self):
+        import random
+
+        component = SSByzClockSync(10, lambda: OracleCoin())
+        rng = random.Random(2)
+        for _ in range(25):
+            component.scramble(rng)
+            assert 0 <= component.full_clock < 10
+            assert 0 <= component.save < 10
+            assert component._phase in (0, 1, 2, 3, None)
+
+
+class TestExpectedConstantAcrossN:
+    def test_latency_flat_in_n(self):
+        """The headline: expected convergence time does not grow with n
+        (contrast with the deterministic baseline's O(f))."""
+        means = {}
+        for n, f in ((4, 1), (10, 3)):
+            latencies = []
+            for seed in range(6):
+                sim, monitor = sync_sim(n=n, f=f, k=8, seed=seed)
+                sim.scramble()
+                sim.run(250)
+                beat = monitor.convergence_beat()
+                assert beat is not None
+                latencies.append(beat)
+            means[n] = sum(latencies) / len(latencies)
+        assert means[10] < means[4] * 3 + 10

@@ -1,0 +1,158 @@
+"""Coin algorithm contracts (Definition 2.6) across implementations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coin.feldman_micali import FeldmanMicaliCoin
+from repro.coin.local import LocalCoin
+from repro.coin.oracle import OracleCoin
+from repro.errors import ConfigurationError, ResilienceError
+from tests.conftest import CoinHarness
+
+
+class TestOracleCoin:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            OracleCoin(p0=0.0)
+        with pytest.raises(ConfigurationError):
+            OracleCoin(p0=0.7, p1=0.7)
+        with pytest.raises(ConfigurationError):
+            OracleCoin(rounds=0)
+
+    def test_binary_output(self):
+        for seed in range(10):
+            harness = CoinHarness(OracleCoin(), 4, 1, seed=seed, beat=seed)
+            outputs = harness.run()
+            assert set(outputs.values()) <= {0, 1}
+
+    def test_event_probabilities_measured(self):
+        coin = OracleCoin(p0=0.4, p1=0.4)
+        agreed_zero = agreed_one = diverged = 0
+        for seed in range(300):
+            outputs = CoinHarness(coin, 4, 1, seed=seed, beat=seed).run()
+            values = set(outputs.values())
+            if values == {0}:
+                agreed_zero += 1
+            elif values == {1}:
+                agreed_one += 1
+            else:
+                diverged += 1
+        assert agreed_zero / 300 > 0.3
+        assert agreed_one / 300 > 0.3
+        assert diverged / 300 < 0.3
+
+    def test_sends_no_traffic(self):
+        harness = CoinHarness(OracleCoin(), 4, 1)
+        harness.run()
+        assert harness.traffic == []
+
+    def test_scramble_domain(self):
+        instance = OracleCoin().new_instance()
+        rng = random.Random(0)
+        values = {instance.scramble(rng) or instance.output() for _ in range(20)}
+        assert values <= {0, 1}
+
+
+class TestLocalCoin:
+    def test_outputs_independent_across_nodes(self):
+        """The local coin must NOT be a common coin: with 8 nodes the
+        all-agree probability per invocation is 1/128 per side."""
+        disagreements = 0
+        for seed in range(60):
+            outputs = CoinHarness(LocalCoin(), 8, 2, seed=seed).run()
+            if len(set(outputs.values())) > 1:
+                disagreements += 1
+        assert disagreements > 40
+
+    def test_claims_no_agreement_probability(self):
+        coin = LocalCoin()
+        assert coin.p0 == 0.0 and coin.p1 == 0.0
+
+    def test_rounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalCoin(rounds=0)
+
+
+class TestFeldmanMicaliCoin:
+    def test_resilience_validation(self):
+        with pytest.raises(ResilienceError):
+            FeldmanMicaliCoin(3, 1)
+
+    def test_rounds_is_four(self):
+        assert FeldmanMicaliCoin(4, 1).rounds == 4
+
+    def test_field_larger_than_n(self):
+        assert FeldmanMicaliCoin(10, 3).field.modulus > 10
+
+    def test_fault_free_always_common(self):
+        coin = FeldmanMicaliCoin(4, 1)
+        for seed in range(25):
+            outputs = CoinHarness(coin, 4, 1, seed=seed).run()
+            assert len(set(outputs.values())) == 1
+
+    def test_fault_free_roughly_uniform(self):
+        coin = FeldmanMicaliCoin(4, 1)
+        ones = 0
+        trials = 120
+        for seed in range(trials):
+            outputs = CoinHarness(coin, 4, 1, seed=seed).run()
+            ones += next(iter(outputs.values()))
+        assert 0.3 < ones / trials < 0.7
+
+    def test_crash_faulty_nodes_still_common(self):
+        coin = FeldmanMicaliCoin(4, 1)
+        for seed in range(25):
+            outputs = CoinHarness(
+                coin, 4, 1, faulty=frozenset({3}), seed=seed
+            ).run()
+            assert len(set(outputs.values())) == 1
+
+    def test_agreement_rate_under_vote_equivocation(self):
+        """The documented measured-not-proved property: agreement stays a
+        constant under the strongest implemented dealer attack."""
+        n, f = 4, 1
+        coin = FeldmanMicaliCoin(n, f)
+        field = coin.field
+        rng = random.Random(999)
+
+        def attack(round_index, visible):
+            messages = []
+            for sender in (3,):
+                for receiver in range(n):
+                    if round_index == 1:
+                        body = (
+                            "row",
+                            tuple(
+                                rng.randrange(field.modulus)
+                                for _ in range(f + 1)
+                            ),
+                        )
+                    elif round_index == 3:
+                        body = ("vote", tuple(range(n)) if receiver % 2 else ())
+                    elif round_index == 4:
+                        body = (
+                            "rshare",
+                            tuple(
+                                (d, rng.randrange(field.modulus))
+                                for d in range(n)
+                            ),
+                        )
+                    else:
+                        body = ("xpt", tuple((d, 0) for d in range(n)))
+                    messages.append((sender, receiver, body))
+            return messages
+
+        agreed = 0
+        trials = 60
+        for seed in range(trials):
+            outputs = CoinHarness(
+                coin, n, f, faulty=frozenset({3}), seed=seed
+            ).run(attack)
+            if len(set(outputs.values())) == 1:
+                agreed += 1
+        # Definition 2.6 only needs a positive constant; measured values
+        # are reported in EXPERIMENTS.md.  Assert a conservative floor.
+        assert agreed / trials > 0.5

@@ -1,0 +1,147 @@
+"""Component tree semantics: phases, activation pairing, scrambling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolViolationError
+from repro.net.component import BeatContext, Component
+from repro.net.environment import Environment
+from repro.net.node import Node
+
+
+class Leaf(Component):
+    def __init__(self):
+        super().__init__()
+        self.sent = 0
+        self.received = []
+        self.state = 0
+
+    def on_send(self, ctx):
+        ctx.broadcast(("leaf", ctx.node_id))
+        self.sent += 1
+
+    def on_update(self, ctx):
+        self.received.append([e.payload for e in ctx.inbox])
+
+    def scramble(self, rng):
+        self.state = rng.randrange(100)
+
+
+class Parent(Component):
+    def __init__(self, run_child_flag=True):
+        super().__init__()
+        self.leaf = self.add_child("leaf", Leaf())
+        self.run_child_flag = run_child_flag
+        self.skip_update = False
+
+    def on_send(self, ctx):
+        if self.run_child_flag:
+            ctx.run_child("leaf")
+
+    def on_update(self, ctx):
+        if self.run_child_flag and not self.skip_update:
+            ctx.run_child("leaf")
+
+
+def make_node(root, node_id=0, n=3, f=0):
+    env = Environment(n, seed=0)
+    return Node(node_id, n, f, root, random.Random(1), env)
+
+
+class TestTreeBasics:
+    def test_duplicate_child_name_rejected(self):
+        parent = Parent()
+        with pytest.raises(ProtocolViolationError):
+            parent.add_child("leaf", Leaf())
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            Parent().add_child("a/b", Leaf())
+
+    def test_walk_yields_all(self):
+        parent = Parent()
+        assert list(parent.walk()) == [parent, parent.leaf]
+
+    def test_unknown_child_raises(self):
+        class Bad(Component):
+            def on_send(self, ctx):
+                ctx.run_child("ghost")
+
+        node = make_node(Bad())
+        with pytest.raises(ProtocolViolationError):
+            node.send_phase(0)
+
+
+class TestPhaseDiscipline:
+    def test_child_messages_routed_by_path(self):
+        node = make_node(Parent())
+        envelopes = node.send_phase(0)
+        assert {e.path for e in envelopes} == {"root/leaf"}
+        assert len(envelopes) == 3  # broadcast to n=3
+
+    def test_send_in_update_phase_rejected(self):
+        class Bad(Component):
+            def on_update(self, ctx):
+                ctx.broadcast("late")
+
+        node = make_node(Bad())
+        node.send_phase(0)
+        with pytest.raises(ProtocolViolationError):
+            node.update_phase(0, {})
+
+    def test_inbox_filtered_by_path(self):
+        from repro.net.message import Envelope
+
+        node = make_node(Parent())
+        node.send_phase(0)
+        delivered = {
+            "root/leaf": [Envelope(1, 0, "root/leaf", "mine", 0)],
+            "root": [Envelope(1, 0, "root", "not-mine", 0)],
+        }
+        node.update_phase(0, delivered)
+        assert node.root.leaf.received[-1] == ["mine"]
+
+    def test_update_without_activation_raises(self):
+        parent = Parent(run_child_flag=False)
+
+        class LateParent(Parent):
+            pass
+
+        node = make_node(parent)
+        node.send_phase(0)
+        parent.run_child_flag = True  # update tries a child never activated
+        with pytest.raises(ProtocolViolationError):
+            node.update_phase(0, {})
+
+    def test_activation_without_update_raises(self):
+        parent = Parent()
+        parent.skip_update = True
+        node = make_node(parent)
+        node.send_phase(0)
+        with pytest.raises(ProtocolViolationError):
+            node.update_phase(0, {})
+
+    def test_paired_activation_passes(self):
+        node = make_node(Parent())
+        for beat in range(3):
+            node.send_phase(beat)
+            node.update_phase(beat, {})
+        assert node.root.leaf.sent == 3
+
+
+class TestScramble:
+    def test_scramble_tree_reaches_leaves(self):
+        parent = Parent()
+        parent.scramble_tree(random.Random(0))
+        # The leaf redraws `state` from 0..99; chance of staying 0 is 1%.
+        assert isinstance(parent.leaf.state, int)
+
+    def test_node_scramble_delegates(self):
+        node = make_node(Parent())
+        before = node.root.leaf.state
+        node.scramble(random.Random(7))
+        after = node.root.leaf.state
+        assert before == 0 and 0 <= after < 100

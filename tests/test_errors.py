@@ -1,0 +1,56 @@
+"""Error hierarchy and resilience validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    ProtocolViolationError,
+    ReproError,
+    ResilienceError,
+    RoutingError,
+    check_resilience,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            DecodingError,
+            ProtocolViolationError,
+            ResilienceError,
+            RoutingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_resilience_is_configuration(self):
+        assert issubclass(ResilienceError, ConfigurationError)
+
+
+class TestCheckResilience:
+    @pytest.mark.parametrize("n,f", [(1, 0), (4, 1), (7, 2), (10, 3), (100, 33)])
+    def test_valid(self, n, f):
+        check_resilience(n, f)  # must not raise
+
+    @pytest.mark.parametrize("n,f", [(3, 1), (6, 2), (9, 3), (99, 33)])
+    def test_bound_violations(self, n, f):
+        with pytest.raises(ResilienceError):
+            check_resilience(n, f)
+
+    def test_nonsense_sizes(self):
+        with pytest.raises(ConfigurationError):
+            check_resilience(0, 0)
+        with pytest.raises(ConfigurationError):
+            check_resilience(4, -1)
+
+    def test_boundary_exactness(self):
+        """f < n/3 means n = 3f + 1 is the minimum legal system."""
+        check_resilience(7, 2)
+        with pytest.raises(ResilienceError):
+            check_resilience(6, 2)

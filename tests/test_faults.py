@@ -1,0 +1,97 @@
+"""Transient faults and network incoherence: the self-stabilization story."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.coin.oracle import OracleCoin
+from repro.core.clock_sync import SSByzClockSync
+from repro.faults.network_faults import inject_phantom_storm, random_phantoms
+from repro.faults.transient import TransientFaultSchedule, scramble_now
+from repro.net.simulator import Simulation
+
+
+def sync_sim(n=4, f=1, k=10, seed=0):
+    sim = Simulation(
+        n,
+        f,
+        lambda i: SSByzClockSync(k, lambda: OracleCoin(p0=0.4, p1=0.4, rounds=2)),
+        seed=seed,
+    )
+    monitor = ClockConvergenceMonitor(k=k)
+    sim.add_monitor(monitor)
+    return sim, monitor
+
+
+class TestScrambleNow:
+    def test_scramble_all_perturbs_clocks(self):
+        sim, _ = sync_sim(seed=1)
+        before = [node.root.full_clock for node in sim.nodes.values()]
+        scramble_now(sim)
+        after = [node.root.full_clock for node in sim.nodes.values()]
+        assert before != after  # 10^-4 false-failure chance, fixed seed
+
+    def test_scramble_subset(self):
+        sim, _ = sync_sim(seed=2)
+        scramble_now(sim, node_ids=[0])
+        assert sim.nodes[1].root.full_clock == 0  # untouched
+
+    def test_scramble_is_deterministic_per_seed(self):
+        values = []
+        for _ in range(2):
+            sim, _ = sync_sim(seed=3)
+            scramble_now(sim)
+            values.append([node.root.full_clock for node in sim.nodes.values()])
+        assert values[0] == values[1]
+
+
+class TestSchedule:
+    def test_schedule_applies_at_beats(self):
+        sim, monitor = sync_sim(seed=4)
+        schedule = TransientFaultSchedule({5: None, 11: [0, 1]})
+        sim.add_monitor(schedule)
+        sim.run(15)
+        assert schedule.applied == [5, 11]
+
+    def test_recovery_after_each_storm(self):
+        """Definition 3.2 convergence, repeatedly: after every scheduled
+        memory storm the system re-synchronizes."""
+        sim, monitor = sync_sim(seed=5)
+        schedule = TransientFaultSchedule({40: None})
+        sim.add_monitor(schedule)
+        scramble_now(sim)
+        sim.run(200)
+        first = monitor.convergence_beat(until_beat=40)
+        assert first is not None and first < 40
+        second = monitor.convergence_beat(from_beat=41)
+        assert second is not None
+
+
+class TestPhantoms:
+    def test_random_phantoms_shape(self):
+        phantoms = random_phantoms(random.Random(0), 4, ["root", "root/coin"], 50)
+        assert len(phantoms) == 50
+        assert {p.path for p in phantoms} <= {"root", "root/coin"}
+        assert all(0 <= p.sender < 4 for p in phantoms)
+
+    def test_phantoms_may_claim_any_sender(self):
+        """Phantoms predate identity guarantees: they may carry honest
+        sender ids and the router must deliver them regardless."""
+        sim, _ = sync_sim(seed=6)
+        phantoms = random_phantoms(random.Random(1), 4, ["root"], 30)
+        assert any(p.sender not in sim.faulty_ids for p in phantoms)
+        sim.inject_phantoms(phantoms)
+        sim.run(2)  # must not raise
+
+    def test_convergence_despite_phantom_storm(self):
+        sim, monitor = sync_sim(seed=7)
+        scramble_now(sim)
+        inject_phantom_storm(sim, ["root", "root/coin", "root/A/A1"], count=300)
+        sim.run(200)
+        assert monitor.convergence_beat() is not None
+
+    def test_storm_returns_injected_burst(self):
+        sim, _ = sync_sim(seed=8)
+        burst = inject_phantom_storm(sim, ["root"], count=17)
+        assert len(burst) == 17

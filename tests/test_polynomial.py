@@ -1,0 +1,135 @@
+"""Unit and property tests for univariate polynomials over GF(p)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coin.field import PrimeField
+from repro.coin.polynomial import (
+    evaluate,
+    interpolate,
+    normalize,
+    poly_add,
+    poly_divmod,
+    poly_mul,
+    random_polynomial,
+)
+from repro.errors import ConfigurationError
+
+FIELD = PrimeField(97)
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=96), max_size=6)
+
+
+class TestEvaluate:
+    def test_constant(self):
+        assert evaluate(FIELD, (42,), 13) == 42
+
+    def test_zero_polynomial(self):
+        assert evaluate(FIELD, (), 5) == 0
+
+    def test_known_quadratic(self):
+        # 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38
+        assert evaluate(FIELD, (3, 2, 1), 5) == 38
+
+    def test_reduction_mod_p(self):
+        assert evaluate(FIELD, (96, 96), 96) == (96 + 96 * 96) % 97
+
+
+class TestNormalize:
+    def test_strips_trailing_zeros(self):
+        assert normalize([1, 2, 0, 0]) == (1, 2)
+
+    def test_zero_is_empty(self):
+        assert normalize([0, 0]) == ()
+
+    def test_keeps_interior_zeros(self):
+        assert normalize([0, 0, 5]) == (0, 0, 5)
+
+
+class TestRandomPolynomial:
+    def test_pins_constant_term(self):
+        rng = random.Random(3)
+        poly = random_polynomial(FIELD, 4, rng, constant_term=17)
+        assert poly[0] == 17
+        assert len(poly) == 5
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_polynomial(FIELD, -1, random.Random(0))
+
+    def test_distribution_covers_field(self):
+        rng = random.Random(4)
+        seen = {random_polynomial(FIELD, 0, rng)[0] for _ in range(400)}
+        assert len(seen) > 60
+
+
+class TestInterpolate:
+    def test_line_through_two_points(self):
+        poly = interpolate(FIELD, [(0, 5), (1, 7)])
+        assert poly == (5, 2)  # 5 + 2x
+
+    def test_rejects_duplicate_x(self):
+        with pytest.raises(ConfigurationError):
+            interpolate(FIELD, [(1, 2), (1, 3)])
+
+    @given(coeff_lists, st.integers(min_value=0, max_value=10))
+    def test_roundtrip(self, coeffs, seed):
+        poly = normalize(coeffs)
+        degree = max(len(poly) - 1, 0)
+        xs = list(range(degree + 1))
+        points = [(x, evaluate(FIELD, poly, x)) for x in xs]
+        assert interpolate(FIELD, points) == poly
+
+    def test_overdetermined_consistent_points(self):
+        rng = random.Random(9)
+        poly = random_polynomial(FIELD, 3, rng)
+        points = [(x, evaluate(FIELD, poly, x)) for x in range(10)]
+        assert interpolate(FIELD, points[:4]) == normalize(poly)
+
+
+class TestArithmetic:
+    @given(coeff_lists, coeff_lists)
+    def test_add_pointwise(self, a, b):
+        total = poly_add(FIELD, a, b)
+        for x in range(5):
+            assert evaluate(FIELD, total, x) == FIELD.add(
+                evaluate(FIELD, a, x), evaluate(FIELD, b, x)
+            )
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_pointwise(self, a, b):
+        product = poly_mul(FIELD, a, b)
+        for x in range(5):
+            assert evaluate(FIELD, product, x) == FIELD.mul(
+                evaluate(FIELD, a, x), evaluate(FIELD, b, x)
+            )
+
+    def test_mul_by_zero(self):
+        assert poly_mul(FIELD, (1, 2), ()) == ()
+
+    @given(coeff_lists, coeff_lists)
+    def test_divmod_identity(self, a, b):
+        denominator = normalize(b)
+        if not denominator:
+            return  # division by zero handled in a dedicated test
+        quotient, remainder = poly_divmod(FIELD, a, denominator)
+        recombined = poly_add(
+            FIELD, poly_mul(FIELD, quotient, denominator), remainder
+        )
+        assert recombined == normalize(a)
+        assert len(remainder) < len(denominator)
+
+    def test_divmod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(FIELD, (1, 2, 3), (0,))
+
+    def test_exact_division(self):
+        product = poly_mul(FIELD, (1, 1), (3, 0, 2))
+        quotient, remainder = poly_divmod(FIELD, product, (1, 1))
+        assert remainder == ()
+        assert quotient == (3, 0, 2)

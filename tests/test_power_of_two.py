@@ -1,0 +1,96 @@
+"""§5 recursive doubling: 2^m-clocks composed from smaller clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.coin.oracle import OracleCoin
+from repro.core.power_of_two import RecursiveDoublingClock
+from repro.errors import ConfigurationError
+from repro.net.simulator import Simulation
+
+
+def doubling_sim(exponent, n=4, f=1, seed=0):
+    coin_factory = lambda: OracleCoin(p0=0.4, p1=0.4, rounds=2)
+    sim = Simulation(
+        n,
+        f,
+        lambda i: RecursiveDoublingClock(exponent, coin_factory),
+        seed=seed,
+    )
+    monitor = ClockConvergenceMonitor(k=2**exponent)
+    sim.add_monitor(monitor)
+    return sim, monitor
+
+
+class TestStructure:
+    def test_exponent_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecursiveDoublingClock(0, lambda: OracleCoin())
+
+    def test_base_case_is_2clock(self):
+        clock = RecursiveDoublingClock(1, lambda: OracleCoin())
+        assert clock.modulus == 2
+        assert clock.a2 is None
+
+    def test_nesting_depth(self):
+        clock = RecursiveDoublingClock(4, lambda: OracleCoin())
+        depth = 0
+        inner = clock
+        while isinstance(inner, RecursiveDoublingClock) and inner.a2 is not None:
+            depth += 1
+            inner = inner.a1
+        assert depth == 3  # exponents 4 -> 3 -> 2 -> base case
+
+    def test_modulus(self):
+        assert RecursiveDoublingClock(5, lambda: OracleCoin()).modulus == 32
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("exponent", [1, 2, 3])
+    def test_counts_mod_2_to_m(self, exponent):
+        sim, monitor = doubling_sim(exponent, seed=exponent)
+        sim.scramble()
+        sim.run(150 * exponent)
+        beat = monitor.convergence_beat()
+        assert beat is not None, f"2^{exponent}-clock failed"
+        k = 2**exponent
+        tail = [values[0] for values in monitor.history[beat:]]
+        for previous, current in zip(tail, tail[1:]):
+            assert current == (previous + 1) % k
+
+    def test_equivalent_to_clock4_at_exponent_2(self):
+        """exponent=2 must reproduce Fig. 3's composition semantics."""
+        sim, monitor = doubling_sim(2, seed=9)
+        sim.scramble()
+        sim.run(150)
+        beat = monitor.convergence_beat()
+        assert beat is not None
+        tail = [values[0] for values in monitor.history[beat:]]
+        assert set(tail) <= {0, 1, 2, 3}
+
+    def test_latency_grows_with_exponent(self):
+        """The §5 point: the recursive schema pays a log-k factor, which is
+        why ss-Byz-Clock-Sync exists.  Deeper towers converge slower."""
+        mean_latency = {}
+        for exponent in (1, 3):
+            latencies = []
+            for seed in range(6):
+                sim, monitor = doubling_sim(exponent, seed=seed)
+                sim.scramble()
+                sim.run(400)
+                beat = monitor.convergence_beat()
+                assert beat is not None
+                latencies.append(beat)
+            mean_latency[exponent] = sum(latencies) / len(latencies)
+        assert mean_latency[3] > mean_latency[1]
+
+    def test_scramble_domain(self):
+        import random
+
+        clock = RecursiveDoublingClock(3, lambda: OracleCoin())
+        rng = random.Random(1)
+        for _ in range(20):
+            clock.scramble(rng)
+            assert clock.clock is None or 0 <= clock.clock < 8

@@ -1,0 +1,83 @@
+"""k-Clock problem predicates (Definitions 3.1 / 3.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.problem import closure_holds, converged_at, is_clock_synched
+
+
+class TestIsClockSynched:
+    def test_synched(self):
+        assert is_clock_synched([3, 3, 3])
+
+    def test_not_synched(self):
+        assert not is_clock_synched([3, 3, 4])
+
+    def test_bottom_never_synched(self):
+        assert not is_clock_synched([None, None, None])
+
+    def test_empty_not_synched(self):
+        assert not is_clock_synched([])
+
+    def test_non_int_rejected(self):
+        assert not is_clock_synched(["a", "a"])
+
+
+class TestClosureHolds:
+    def test_increment(self):
+        assert closure_holds([4, 4], [5, 5], k=10)
+
+    def test_wraparound(self):
+        assert closure_holds([9, 9], [0, 0], k=10)
+
+    def test_requires_both_synched(self):
+        assert not closure_holds([4, 5], [5, 5], k=10)
+        assert not closure_holds([4, 4], [5, 6], k=10)
+
+    def test_wrong_step(self):
+        assert not closure_holds([4, 4], [6, 6], k=10)
+
+
+class TestConvergedAt:
+    def test_simple_convergence(self):
+        history = [(1, 2), (None, 3), (5, 5), (6, 6), (7, 7)]
+        assert converged_at(history, k=10) == 2
+
+    def test_never_converges(self):
+        history = [(1, 2), (3, 4), (5, 6)]
+        assert converged_at(history, k=10) is None
+
+    def test_broken_closure_resets(self):
+        # Synched at 1, but the step 5->9 breaks closure; re-synched at 3.
+        history = [(0, 1), (5, 5), (9, 9), (1, 1), (2, 2), (3, 3)]
+        assert converged_at(history, k=10) == 3
+
+    def test_desync_resets(self):
+        history = [(5, 5), (6, 6), (1, 2), (4, 4), (5, 5)]
+        assert converged_at(history, k=10) == 3
+
+    def test_single_final_synched_beat_insufficient(self):
+        # One synched beat at the very end shows no closure step.
+        history = [(1, 2), (3, 3)]
+        assert converged_at(history, k=10) is None
+
+    def test_wraparound_closure(self):
+        history = [(8, 8), (9, 9), (0, 0), (1, 1)]
+        assert converged_at(history, k=10) == 0
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=19),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_perfect_clock_always_converges_at_zero(self, k, start, length):
+        start %= k
+        history = [((start + i) % k,) * 3 for i in range(length)]
+        assert converged_at(history, k=k) == 0
+
+    @given(st.integers(min_value=2, max_value=10))
+    def test_stuck_clock_never_converges(self, k):
+        history = [(4 % k, 4 % k)] * 6  # agreed but not incrementing
+        assert converged_at(history, k=k) is None

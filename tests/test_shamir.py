@@ -1,0 +1,128 @@
+"""Shamir and symmetric-bivariate sharing tests (GVSS substrate)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coin.field import PrimeField
+from repro.coin.polynomial import evaluate, interpolate
+from repro.coin.shamir import (
+    SymmetricBivariate,
+    node_point,
+    reconstruct,
+    reconstruct_with_errors,
+    share_secret,
+)
+from repro.errors import ConfigurationError
+
+FIELD = PrimeField(97)
+
+
+class TestUnivariateSharing:
+    @given(
+        st.integers(min_value=0, max_value=96),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_share_reconstruct_roundtrip(self, secret, seed):
+        rng = random.Random(seed)
+        shares = share_secret(FIELD, secret, 2, range(7), rng)
+        assert reconstruct(FIELD, shares) == secret
+
+    def test_any_degree_plus_one_shares_suffice(self):
+        rng = random.Random(1)
+        shares = share_secret(FIELD, 33, 2, range(7), rng)
+        subset = {i: shares[i] for i in (0, 3, 6)}
+        assert reconstruct(FIELD, subset) == 33
+
+    def test_too_few_recipients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            share_secret(FIELD, 1, 3, range(3), random.Random(0))
+
+    def test_privacy_f_shares_reveal_nothing(self):
+        """Any f shares of a degree-f sharing are consistent with *every*
+        candidate secret — the information-theoretic hiding GVSS's
+        unpredictability rests on."""
+        rng = random.Random(2)
+        degree = 2
+        shares = share_secret(FIELD, 71, degree, range(7), rng)
+        observed = [(node_point(i), shares[i]) for i in (1, 4)]  # f=2 shares
+        for candidate in range(0, 97, 7):
+            poly = interpolate(FIELD, observed + [(0, candidate)])
+            assert len(poly) <= degree + 1  # a valid degree-f explanation
+
+    def test_reconstruct_with_errors(self):
+        rng = random.Random(3)
+        shares = share_secret(FIELD, 5, 2, range(9), rng)
+        shares[4] = (shares[4] + 17) % 97
+        shares[7] = (shares[7] + 3) % 97
+        assert reconstruct_with_errors(FIELD, shares, 2, 2) == 5
+
+
+class TestNodePoint:
+    def test_never_zero(self):
+        assert all(node_point(i) != 0 for i in range(100))
+
+    def test_distinct(self):
+        points = [node_point(i) for i in range(50)]
+        assert len(set(points)) == 50
+
+
+class TestSymmetricBivariate:
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ConfigurationError):
+            SymmetricBivariate(FIELD, [[1, 2], [3, 4]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            SymmetricBivariate(FIELD, [[1, 2, 3], [2, 1, 1]])
+
+    @given(
+        st.integers(min_value=0, max_value=96),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_secret_at_origin(self, secret, seed):
+        s = SymmetricBivariate.random(FIELD, secret, 3, random.Random(seed))
+        assert s.secret == secret
+        assert s.evaluate(0, 0) == secret
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_symmetry(self, seed):
+        s = SymmetricBivariate.random(FIELD, 9, 2, random.Random(seed))
+        for x in range(5):
+            for y in range(5):
+                assert s.evaluate(x, y) == s.evaluate(y, x)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_rows_match_evaluation(self, seed):
+        s = SymmetricBivariate.random(FIELD, 9, 2, random.Random(seed))
+        for node_id in range(5):
+            row = s.row(node_id)
+            for y in range(6):
+                assert evaluate(FIELD, row, y) == s.evaluate(
+                    node_point(node_id), y
+                )
+
+    def test_pairwise_row_consistency(self):
+        """row_i(x_j) == row_j(x_i): the GVSS exchange-round check."""
+        s = SymmetricBivariate.random(FIELD, 4, 3, random.Random(11))
+        for i in range(6):
+            for j in range(6):
+                assert evaluate(FIELD, s.row(i), node_point(j)) == evaluate(
+                    FIELD, s.row(j), node_point(i)
+                )
+
+    def test_zero_shares_interpolate_to_secret(self):
+        """The recover phase: constant terms of rows reconstruct S(.,0)."""
+        s = SymmetricBivariate.random(FIELD, 23, 2, random.Random(12))
+        points = [
+            (node_point(i), evaluate(FIELD, s.row(i), 0)) for i in range(3)
+        ]
+        assert evaluate(FIELD, interpolate(FIELD, points), 0) == 23
+
+    def test_row_degree_bounded(self):
+        s = SymmetricBivariate.random(FIELD, 1, 4, random.Random(13))
+        assert all(len(s.row(i)) <= 5 for i in range(8))

@@ -1,0 +1,178 @@
+"""Simulation loop semantics: beats, adversary wiring, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Adversary, NullAdversary
+from repro.adversary.strategies import ScriptedAdversary
+from repro.errors import ConfigurationError, ResilienceError
+from repro.net.component import Component
+from repro.net.environment import EVENT_DIVERGENT, EVENT_E0, EVENT_E1, Environment
+from repro.net.simulator import Simulation
+from repro.net.trace import Tracer
+
+
+class EchoClock(Component):
+    """Minimal protocol: broadcast a counter, adopt the max seen."""
+
+    modulus = 1 << 30
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    @property
+    def clock_value(self):
+        return self.value
+
+    def on_send(self, ctx):
+        ctx.broadcast(self.value)
+
+    def on_update(self, ctx):
+        values = [e.payload for e in ctx.inbox if isinstance(e.payload, int)]
+        self.value = max(values + [self.value]) + 1
+
+    def scramble(self, rng):
+        self.value = rng.randrange(1000)
+
+
+class TestConstruction:
+    def test_resilience_enforced(self):
+        with pytest.raises(ResilienceError):
+            Simulation(3, 1, lambda i: EchoClock())
+
+    def test_adversary_cannot_exceed_f(self):
+        class Greedy(Adversary):
+            def select_faulty(self, n, f, rng):
+                return frozenset(range(f + 1))
+
+        with pytest.raises(ConfigurationError):
+            Simulation(4, 1, lambda i: EchoClock(), adversary=Greedy())
+
+    def test_adversary_unknown_ids_rejected(self):
+        class Confused(Adversary):
+            def select_faulty(self, n, f, rng):
+                return frozenset({99})
+
+        with pytest.raises(ConfigurationError):
+            Simulation(4, 1, lambda i: EchoClock(), adversary=Confused())
+
+    def test_no_adversary_means_all_honest(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        assert sim.honest_ids == [0, 1, 2, 3]
+        assert sim.faulty_ids == frozenset()
+
+    def test_null_adversary_corrupts_nobody(self):
+        sim = Simulation(4, 1, lambda i: EchoClock(), adversary=NullAdversary())
+        assert len(sim.nodes) == 4
+
+    def test_default_faulty_selection(self):
+        sim = Simulation(7, 2, lambda i: EchoClock(), adversary=Adversary())
+        assert sim.faulty_ids == frozenset({5, 6})
+
+
+class TestBeatLoop:
+    def test_same_beat_delivery(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        sim.run_beat()
+        # Everyone broadcast 0, everyone saw 0, adopted max+1 = 1.
+        assert all(node.root.value == 1 for node in sim.nodes.values())
+
+    def test_beat_counter_advances(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        sim.run(5)
+        assert sim.beat == 5
+
+    def test_monitors_called_each_beat(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        beats = []
+        sim.add_monitor(lambda s, b: beats.append(b))
+        sim.run(3)
+        assert beats == [0, 1, 2]
+
+    def test_run_until(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        hit = sim.run_until(
+            lambda s: all(n.root.value >= 3 for n in s.nodes.values()), 10
+        )
+        assert hit == 2
+
+    def test_run_until_timeout(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        assert sim.run_until(lambda s: False, 3) is None
+        assert sim.beat == 3
+
+    def test_scripted_adversary_messages_delivered(self):
+        script = {0: [(3, 0, "root", 500)]}
+        sim = Simulation(
+            4, 1, lambda i: EchoClock(), adversary=ScriptedAdversary(script)
+        )
+        sim.run_beat()
+        assert sim.nodes[0].root.value == 501  # poisoned by the big value
+        assert sim.nodes[1].root.value == 1
+
+    def test_faulty_nodes_have_no_node_objects(self):
+        sim = Simulation(4, 1, lambda i: EchoClock(), adversary=Adversary())
+        assert set(sim.nodes) == {0, 1, 2}
+
+
+class TestDeterminism:
+    def _history(self, seed):
+        sim = Simulation(4, 1, lambda i: EchoClock(), seed=seed)
+        tracer = Tracer(lambda root: root.value)
+        sim.add_monitor(tracer)
+        sim.scramble()
+        sim.run(6)
+        return [record.values for record in tracer.records]
+
+    def test_same_seed_same_run(self):
+        assert self._history(42) == self._history(42)
+
+    def test_different_seed_different_run(self):
+        assert self._history(42) != self._history(43)
+
+
+class TestEnvironmentCoins:
+    def test_outcome_memoized(self):
+        env = Environment(4, seed=0)
+        a = env.coin_outcome("p", 3, 0.3, 0.3)
+        b = env.coin_outcome("p", 3, 0.3, 0.3)
+        assert a is b
+
+    def test_outcome_distribution(self):
+        env = Environment(4, seed=1)
+        events = [
+            env.coin_outcome("p", beat, 0.35, 0.35).event
+            for beat in range(600)
+        ]
+        e0 = events.count(EVENT_E0) / len(events)
+        e1 = events.count(EVENT_E1) / len(events)
+        div = events.count(EVENT_DIVERGENT) / len(events)
+        assert 0.25 < e0 < 0.45
+        assert 0.25 < e1 < 0.45
+        assert 0.2 < div < 0.4
+
+    def test_agreed_outcomes_common(self):
+        env = Environment(5, seed=2)
+        for beat in range(50):
+            outcome = env.coin_outcome("p", beat, 0.4, 0.4)
+            if outcome.agreed:
+                assert len(set(outcome.bits.values())) == 1
+
+    def test_divergence_chooser_consulted(self):
+        env = Environment(4, seed=3)
+        env.divergence_chooser = lambda key, bits: {i: 1 for i in bits}
+        for beat in range(200):
+            outcome = env.coin_outcome("p", beat, 0.2, 0.2)
+            if outcome.event == EVENT_DIVERGENT:
+                assert set(outcome.bits.values()) == {1}
+                break
+        else:
+            pytest.fail("no divergent outcome in 200 draws")
+
+    def test_resolved_outcomes_respects_horizon(self):
+        env = Environment(4, seed=4)
+        env.coin_outcome("p", 5, 0.3, 0.3)
+        env.coin_outcome("p", 9, 0.3, 0.3)
+        assert set(env.resolved_outcomes(6)) == {("p", 5)}

@@ -1,0 +1,56 @@
+"""Tracer and trace formatting."""
+
+from __future__ import annotations
+
+from repro.coin.oracle import OracleCoin
+from repro.core.clock2 import SSByz2Clock
+from repro.net.simulator import Simulation
+from repro.net.trace import BeatRecord, Tracer, format_clock_row
+
+
+class TestTracer:
+    def _sim_with_tracer(self, printer=None):
+        sim = Simulation(
+            4, 1, lambda i: SSByz2Clock(OracleCoin(rounds=2)), seed=1
+        )
+        tracer = Tracer(lambda root: root.clock, printer=printer)
+        sim.add_monitor(tracer)
+        return sim, tracer
+
+    def test_records_every_beat(self):
+        sim, tracer = self._sim_with_tracer()
+        sim.run(5)
+        assert [r.beat for r in tracer.records] == [0, 1, 2, 3, 4]
+
+    def test_values_per_honest_node(self):
+        sim, tracer = self._sim_with_tracer()
+        sim.run(1)
+        assert sorted(tracer.records[0].values) == [0, 1, 2, 3]
+
+    def test_series_extraction(self):
+        sim, tracer = self._sim_with_tracer()
+        sim.run(6)
+        series = tracer.series(0)
+        assert len(series) == 6
+        assert all(v in (0, 1, None) for v in series)
+
+    def test_printer_called(self):
+        lines = []
+        sim, tracer = self._sim_with_tracer(printer=lines.append)
+        sim.run(3)
+        assert len(lines) == 3
+        assert all(line.startswith("beat") for line in lines)
+
+
+class TestFormatting:
+    def test_bottom_rendered_as_symbol(self):
+        record = BeatRecord(4, {0: None, 1: 7})
+        row = format_clock_row(record, frozenset())
+        assert "⊥" in row
+        assert "7" in row
+        assert "beat    4" in row
+
+    def test_faulty_marked(self):
+        record = BeatRecord(0, {0: 1})
+        row = format_clock_row(record, frozenset({3}))
+        assert "☠" in row
