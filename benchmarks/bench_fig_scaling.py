@@ -5,38 +5,48 @@ f = ⌊(n-1)/3⌋ and plot mean convergence beats per family.  Expected
 shapes: the current paper's algorithm is flat in n (expected O(1)); the
 deterministic comparator grows linearly in f; the local-coin randomized
 family deteriorates so fast it is only measurable at toy sizes.
+
+Ported to the campaign subsystem: one picklable
+:class:`~repro.analysis.campaign.ScenarioSpec` grid per family, executed
+by :func:`~repro.analysis.campaign.run_campaign`.
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments import TrialConfig, run_sweep
-from repro.analysis.tables import render_table, standard_families
+from repro.analysis.campaign import run_campaign, scenario_grid
+from repro.analysis.tables import render_table
 
 K = 4
 SEEDS = range(6)
 
 
-def _mean_latency(family: str, n: int, f: int, max_beats: int) -> tuple[float, int]:
-    factory = standard_families(n, f, K)[family]
-    config = TrialConfig(
-        n=n, f=f, k=K, protocol_factory=factory, max_beats=max_beats
-    )
-    sweep = run_sweep(config, SEEDS)
-    if not sweep.latencies:
-        return float(max_beats), sweep.failure_count
-    mean = sum(sweep.latencies) / len(sweep.latencies)
-    return mean, sweep.failure_count
+def _mean_latencies(protocol: str, sizes, max_beats: int) -> dict:
+    """Per-(n, f) mean convergence latency (budget on non-convergence)."""
+    specs = scenario_grid(sizes, ks=[K], protocol=protocol, max_beats=max_beats)
+    table = {}
+    for entry in run_campaign(specs, SEEDS):
+        sweep = entry.sweep
+        if sweep.latencies:
+            mean = sum(sweep.latencies) / len(sweep.latencies)
+        else:
+            mean = float(max_beats)
+        table[(entry.spec.n, entry.spec.f)] = (mean, sweep.failure_count)
+    return table
 
 
 def test_scaling_current_flat_vs_deterministic_linear(once, record_result, benchmark):
+    sizes = [4, 7, 10, 13]
+
     def experiment():
-        table = {}
-        for n, f in ((4, 1), (7, 2), (10, 3), (13, 4)):
-            table[(n, f)] = {
-                "current": _mean_latency("current", n, f, 400)[0],
-                "deterministic": _mean_latency("deterministic", n, f, 200)[0],
+        current = _mean_latencies("clock-sync", sizes, 400)
+        deterministic = _mean_latencies("deterministic", sizes, 200)
+        return {
+            key: {
+                "current": current[key][0],
+                "deterministic": deterministic[key][0],
             }
-        return table
+            for key in current
+        }
 
     table = once(experiment)
     rows = [
@@ -63,10 +73,7 @@ def test_scaling_current_flat_vs_deterministic_linear(once, record_result, bench
 
 def test_scaling_dolev_welch_explodes(once, record_result, benchmark):
     def experiment():
-        return {
-            n_f: _mean_latency("dolev-welch", *n_f, 500)
-            for n_f in ((4, 1), (7, 2), (10, 3))
-        }
+        return _mean_latencies("dolev-welch", [4, 7, 10], 500)
 
     table = once(experiment)
     rows = [

@@ -5,24 +5,24 @@ the literal reading; Remark 4.1 observes that a single pipeline suffices,
 saving a constant factor in message complexity without hurting expected
 convergence.  We also record how traffic scales with n for the paper's
 algorithm vs the deterministic comparator.
+
+Both experiments run through the campaign subsystem: picklable
+:class:`~repro.analysis.campaign.ScenarioSpec` grids fanned out by
+:func:`~repro.analysis.campaign.run_campaign`.
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments import TrialConfig, run_sweep
-from repro.analysis.tables import render_table, standard_families
-from repro.coin.feldman_micali import FeldmanMicaliCoin
-from repro.core.clock_sync import SSByzClockSync
+from repro.analysis.campaign import (
+    ScenarioSpec,
+    run_campaign,
+    scenario_grid,
+    single_scenario_sweep,
+)
+from repro.analysis.tables import render_table
 
 K = 8
 SEEDS = range(4)
-
-
-def _sweep(factory, n, f, max_beats=300):
-    config = TrialConfig(
-        n=n, f=f, k=K, protocol_factory=factory, max_beats=max_beats
-    )
-    return run_sweep(config, SEEDS)
 
 
 def test_share_coin_ablation(once, record_result, benchmark):
@@ -35,11 +35,14 @@ def test_share_coin_ablation(once, record_result, benchmark):
     n, f = 4, 1
 
     def experiment():
-        coin = lambda: FeldmanMicaliCoin(n, f)
-        separate = _sweep(lambda i: SSByzClockSync(K, coin), n, f, max_beats=120)
-        shared = _sweep(
-            lambda i: SSByzClockSync(K, coin, share_coin=True), n, f, max_beats=120
+        separate_spec = ScenarioSpec(
+            n=n, f=f, k=K, coin="gvss", max_beats=120
         )
+        shared_spec = ScenarioSpec(
+            n=n, f=f, k=K, coin="gvss", max_beats=120, share_coin=True
+        )
+        separate = single_scenario_sweep(separate_spec, SEEDS)
+        shared = single_scenario_sweep(shared_spec, SEEDS)
         return separate, shared
 
     separate, shared = once(experiment)
@@ -70,17 +73,24 @@ def test_share_coin_ablation(once, record_result, benchmark):
 
 
 def test_traffic_scales_quadratically_in_n(once, record_result, benchmark):
+    sizes = [4, 7, 10, 13]
+
     def experiment():
-        table = {}
-        for n, f in ((4, 1), (7, 2), (10, 3), (13, 4)):
-            families = standard_families(n, f, K)
-            table[n] = {
-                "current": _sweep(families["current"], n, f).mean_messages_per_beat,
-                "deterministic": _sweep(
-                    families["deterministic"], n, f, max_beats=100
-                ).mean_messages_per_beat,
+        current = run_campaign(
+            scenario_grid(sizes, ks=[K], protocol="clock-sync", max_beats=300),
+            SEEDS,
+        )
+        deterministic = run_campaign(
+            scenario_grid(sizes, ks=[K], protocol="deterministic", max_beats=100),
+            SEEDS,
+        )
+        return {
+            entry.spec.n: {
+                "current": entry.sweep.mean_messages_per_beat,
+                "deterministic": det.sweep.mean_messages_per_beat,
             }
-        return table
+            for entry, det in zip(current, deterministic)
+        }
 
     table = once(experiment)
     rows = [

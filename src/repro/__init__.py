@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.adversary.base import Adversary
+from repro.analysis.campaign import ScenarioSpec, run_campaign, scenario_grid
 from repro.analysis.experiments import TrialConfig, TrialResult, run_trial
 from repro.coin.feldman_micali import FeldmanMicaliCoin
 from repro.coin.interfaces import CoinAlgorithm
@@ -51,11 +52,14 @@ __all__ = [
     "SSByz2Clock",
     "SSByz4Clock",
     "SSByzClockSync",
+    "ScenarioSpec",
     "Simulation",
     "TrialConfig",
     "TrialResult",
     "coin_by_name",
+    "run_campaign",
     "run_trial",
+    "scenario_grid",
     "synchronize",
     "__version__",
 ]
@@ -88,6 +92,8 @@ def synchronize(
     seed: int = 0,
     max_beats: int = 500,
     scramble: bool = True,
+    early_stop: bool = True,
+    engine: str = "fast",
 ) -> TrialResult:
     """Run ss-Byz-Clock-Sync from a worst-case scrambled state.
 
@@ -95,7 +101,9 @@ def synchronize(
     ``converged_beat`` is the first beat from which all correct nodes hold
     one clock value and increment it by one mod ``k`` every beat
     (Definition 3.2), and whose ``history`` holds every beat's clock values
-    for inspection.
+    for inspection.  With ``early_stop`` (the default) the run ends once
+    convergence plus a closure window is confirmed; ``engine`` selects the
+    simulation engine (``"fast"`` or ``"reference"``).
     """
     coin_factory = coin_by_name(coin, n, f)
     config = TrialConfig(
@@ -106,5 +114,7 @@ def synchronize(
         adversary_factory=lambda: adversary,
         max_beats=max_beats,
         scramble=scramble,
+        early_stop=early_stop,
+        engine=engine,
     )
     return run_trial(config, seed)

@@ -1,5 +1,16 @@
 """Evaluation harness: monitors, trials, sweeps, statistics, tables."""
 
+from repro.analysis.campaign import (
+    ADVERSARY_REGISTRY,
+    CampaignEntry,
+    PROTOCOL_REGISTRY,
+    ScenarioSpec,
+    campaign_to_json,
+    iter_campaign,
+    run_campaign,
+    scenario_grid,
+    single_scenario_sweep,
+)
 from repro.analysis.convergence import ClockConvergenceMonitor
 from repro.analysis.experiments import (
     SweepResult,
@@ -24,12 +35,21 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "ADVERSARY_REGISTRY",
+    "CampaignEntry",
     "ClockConvergenceMonitor",
+    "PROTOCOL_REGISTRY",
+    "ScenarioSpec",
     "Summary",
     "SweepResult",
     "Table1Row",
     "TrialConfig",
     "TrialResult",
+    "campaign_to_json",
+    "iter_campaign",
+    "run_campaign",
+    "scenario_grid",
+    "single_scenario_sweep",
     "geometric_tail_rate",
     "mean",
     "median",

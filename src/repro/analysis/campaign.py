@@ -1,0 +1,380 @@
+"""Parallel experiment campaigns over picklable scenario specifications.
+
+:func:`run_sweep` is a closure-heavy, single-process harness — perfect for
+a quick table, unusable for the thousand-trial grids the related work runs
+(precision/latency trade-off sweeps, resynchronization-scenario matrices).
+This module is the scale-out layer on top of the trial harness:
+
+* :class:`ScenarioSpec` — a frozen, *picklable* description of one
+  configuration: protocol family, coin, ``(n, f, k)``, adversary, fault
+  schedule, beat budget, early-stop policy and engine.  Specs cross
+  process boundaries; the per-node component factories they imply are
+  rebuilt inside each worker via the module-level registries below.
+* :func:`scenario_grid` — expand axes (n, k, adversary) into a spec list,
+  deriving ``f = ⌊(n-1)/3⌋`` when not pinned.
+* :func:`iter_campaign` / :func:`run_campaign` — fan one seed-trial out
+  per worker process, early-exit each trial once convergence plus a
+  closure window is confirmed, and stream one aggregated
+  :class:`~repro.analysis.experiments.SweepResult` per scenario as its
+  seeds complete.  Equal seeds give equal results at any worker count, so
+  campaigns stay exactly reproducible.
+
+The CLI front-end is ``python -m repro campaign``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.adversary import (
+    CrashAdversary,
+    DealerAttackAdversary,
+    EquivocatorAdversary,
+    MixedDealingAdversary,
+    RandomNoiseAdversary,
+    SplitWorldAdversary,
+)
+from repro.analysis.experiments import (
+    SweepResult,
+    TrialConfig,
+    TrialResult,
+    run_trial,
+)
+from repro.baselines.det_clock_sync import DeterministicClockSync
+from repro.baselines.dolev_welch import DolevWelchClock
+from repro.coin.feldman_micali import FeldmanMicaliCoin
+from repro.coin.local import LocalCoin
+from repro.coin.oracle import OracleCoin
+from repro.core.clock_sync import SSByzClockSync
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ADVERSARY_REGISTRY",
+    "COIN_REGISTRY",
+    "CampaignEntry",
+    "PROTOCOL_REGISTRY",
+    "ScenarioSpec",
+    "campaign_to_json",
+    "iter_campaign",
+    "run_campaign",
+    "scenario_grid",
+    "single_scenario_sweep",
+]
+
+#: Adversary name -> class (``None`` = fault-free).  Names are shared with
+#: the CLI's ``--adversary`` flags.
+ADVERSARY_REGISTRY: dict[str, type | None] = {
+    "none": None,
+    "crash": CrashAdversary,
+    "noise": RandomNoiseAdversary,
+    "equivocator": EquivocatorAdversary,
+    "split-world": SplitWorldAdversary,
+    "dealer-attack": DealerAttackAdversary,
+    "mixed-dealing": MixedDealingAdversary,
+}
+
+#: Protocol family names accepted by :class:`ScenarioSpec.protocol`.
+PROTOCOL_REGISTRY: tuple[str, ...] = (
+    "clock-sync",
+    "deterministic",
+    "dolev-welch",
+)
+
+#: Coin names accepted by :class:`ScenarioSpec.coin` (clock-sync only).
+COIN_REGISTRY: tuple[str, ...] = ("oracle", "gvss", "local")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One campaign scenario, as plain picklable data.
+
+    Attributes:
+        n, f, k: system size, fault parameter, clock modulus.
+        protocol: family name — ``"clock-sync"`` (the paper's algorithm),
+            ``"deterministic"`` or ``"dolev-welch"`` (Table 1 baselines).
+        coin: ``"oracle"``, ``"gvss"`` or ``"local"`` (clock-sync only).
+        adversary: a name from :data:`ADVERSARY_REGISTRY`.
+        max_beats: per-trial beat budget.
+        scramble: worst-case transient fault before beat 0.
+        scramble_beats: fault schedule — beats before which all correct
+            nodes are re-scrambled mid-run.
+        early_stop / closure_window: early-exit policy (see
+            :func:`~repro.analysis.experiments.run_trial`).
+        engine: simulation engine name.
+        share_coin: Remark 4.1's shared coin pipeline (clock-sync only).
+        coin_p0, coin_p1, coin_rounds: oracle-coin tuning; ``None`` keeps
+            the :class:`~repro.coin.oracle.OracleCoin` defaults.
+        tag: free-form label echoed in reports.
+    """
+
+    n: int
+    f: int
+    k: int
+    protocol: str = "clock-sync"
+    coin: str = "oracle"
+    adversary: str = "none"
+    max_beats: int = 500
+    scramble: bool = True
+    scramble_beats: tuple[int, ...] = ()
+    early_stop: bool = True
+    closure_window: int = 12
+    engine: str = "fast"
+    share_coin: bool = False
+    coin_p0: float | None = None
+    coin_p1: float | None = None
+    coin_rounds: int | None = None
+    tag: str = ""
+
+    def validate(self) -> None:
+        if self.protocol not in PROTOCOL_REGISTRY:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; "
+                f"known: {sorted(PROTOCOL_REGISTRY)}"
+            )
+        if self.coin not in COIN_REGISTRY:
+            raise ConfigurationError(
+                f"unknown coin {self.coin!r}; known: {sorted(COIN_REGISTRY)}"
+            )
+        if self.adversary not in ADVERSARY_REGISTRY:
+            raise ConfigurationError(
+                f"unknown adversary {self.adversary!r}; "
+                f"known: {sorted(ADVERSARY_REGISTRY)}"
+            )
+        if any(not 0 <= beat < self.max_beats for beat in self.scramble_beats):
+            raise ConfigurationError(
+                f"scramble_beats {sorted(self.scramble_beats)} must lie "
+                f"within [0, max_beats={self.max_beats})"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable scenario name for tables and logs."""
+        parts = [self.protocol]
+        if self.protocol == "clock-sync":
+            parts.append(self.coin)
+            if self.share_coin:
+                parts.append("shared")
+        parts.append(f"n={self.n}")
+        parts.append(f"f={self.f}")
+        parts.append(f"k={self.k}")
+        if self.adversary != "none":
+            parts.append(f"adv={self.adversary}")
+        if self.scramble_beats:
+            parts.append(f"storms={list(self.scramble_beats)}")
+        if self.tag:
+            parts.append(self.tag)
+        return " ".join(parts)
+
+    def _coin_factory(self) -> Callable[[], object]:
+        spec = self
+        if spec.coin == "gvss":
+            return lambda: FeldmanMicaliCoin(spec.n, spec.f)
+        if spec.coin == "local":
+            return lambda: LocalCoin()
+        kwargs = {}
+        if spec.coin_p0 is not None:
+            kwargs["p0"] = spec.coin_p0
+        if spec.coin_p1 is not None:
+            kwargs["p1"] = spec.coin_p1
+        if spec.coin_rounds is not None:
+            kwargs["rounds"] = spec.coin_rounds
+        return lambda: OracleCoin(**kwargs)
+
+    def build_config(self) -> TrialConfig:
+        """Materialize the (closure-carrying) trial config for this spec."""
+        self.validate()
+        spec = self
+        if spec.protocol == "deterministic":
+            factory = lambda _i: DeterministicClockSync(spec.n, spec.f, spec.k)
+        elif spec.protocol == "dolev-welch":
+            factory = lambda _i: DolevWelchClock(spec.k)
+        else:
+            coin_factory = spec._coin_factory()
+            factory = lambda _i: SSByzClockSync(
+                spec.k, coin_factory, share_coin=spec.share_coin
+            )
+        adversary_cls = ADVERSARY_REGISTRY[spec.adversary]
+        if adversary_cls is None:
+            adversary_factory = lambda: None
+        else:
+            adversary_factory = lambda: adversary_cls()
+        return TrialConfig(
+            n=spec.n,
+            f=spec.f,
+            k=spec.k,
+            protocol_factory=factory,
+            adversary_factory=adversary_factory,
+            max_beats=spec.max_beats,
+            scramble=spec.scramble,
+            scramble_beats=spec.scramble_beats,
+            early_stop=spec.early_stop,
+            closure_window=spec.closure_window,
+            engine=spec.engine,
+        )
+
+
+def scenario_grid(
+    ns: Iterable[int],
+    *,
+    ks: Iterable[int] = (8,),
+    adversaries: Iterable[str] = ("none",),
+    fs: Sequence[int] | None = None,
+    **common: object,
+) -> list[ScenarioSpec]:
+    """Expand an n × k × adversary grid into scenario specs.
+
+    ``fs`` pins one fault parameter per entry of ``ns`` (same length);
+    omitted, it defaults to the resilience-optimal ``⌊(n-1)/3⌋``.  Extra
+    keyword arguments are forwarded to every :class:`ScenarioSpec`.
+    """
+    ns = list(ns)
+    ks = list(ks)  # materialize: one-shot iterables must survive the loop
+    adversaries = list(adversaries)
+    if fs is not None and len(fs) != len(ns):
+        raise ConfigurationError(
+            f"fs has {len(fs)} entries for {len(ns)} system sizes"
+        )
+    specs = []
+    for index, n in enumerate(ns):
+        f = fs[index] if fs is not None else max(0, (n - 1) // 3)
+        for k in ks:
+            for adversary in adversaries:
+                specs.append(
+                    ScenarioSpec(n=n, f=f, k=k, adversary=adversary, **common)
+                )
+    return specs
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """One scenario's aggregated outcome within a campaign."""
+
+    index: int
+    spec: ScenarioSpec
+    sweep: SweepResult
+
+
+def _campaign_worker(job: tuple[int, ScenarioSpec, int]) -> tuple[int, TrialResult]:
+    """Run one (scenario, seed) trial inside a worker process."""
+    index, spec, seed = job
+    return index, run_trial(spec.build_config(), seed)
+
+
+def iter_campaign(
+    specs: Sequence[ScenarioSpec],
+    seeds: Sequence[int],
+    *,
+    workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> Iterator[CampaignEntry]:
+    """Run every (scenario, seed) trial; yield scenarios as they complete.
+
+    Trials fan out across ``workers`` processes (default: one per CPU,
+    capped by the job count; ``0``/``1`` runs in-process).  Entries are
+    yielded in *completion* order — use :func:`run_campaign` for input
+    order.  ``progress`` is invoked as ``progress(done, total)`` after
+    every finished trial.  Results are independent of the worker count.
+    """
+    specs = list(specs)
+    seeds = list(seeds)
+    for spec in specs:
+        spec.validate()
+    if not specs or not seeds:
+        return
+    jobs = [
+        (index, spec, seed)
+        for index, spec in enumerate(specs)
+        for seed in seeds
+    ]
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(jobs))
+
+    def _aggregate(index: int, by_seed: dict[int, TrialResult]) -> CampaignEntry:
+        spec = specs[index]
+        ordered = tuple(by_seed[seed] for seed in seeds)
+        return CampaignEntry(
+            index=index,
+            spec=spec,
+            sweep=SweepResult(config=spec.build_config(), results=ordered),
+        )
+
+    done = 0
+    # Completion is counted per job, not per distinct seed, so duplicate
+    # seeds (legal: deterministic trials just repeat) cannot double-yield.
+    pending = [len(seeds)] * len(specs)
+    buckets: dict[int, dict[int, TrialResult]] = {i: {} for i in range(len(specs))}
+
+    def _consume(index: int, result: TrialResult) -> Iterator[CampaignEntry]:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs))
+        buckets[index][result.seed] = result
+        pending[index] -= 1
+        if pending[index] == 0:
+            yield _aggregate(index, buckets.pop(index))
+
+    if workers <= 1:
+        for index, spec, seed in jobs:
+            _, result = _campaign_worker((index, spec, seed))
+            yield from _consume(index, result)
+        return
+    with multiprocessing.get_context().Pool(workers) as pool:
+        for index, result in pool.imap_unordered(
+            _campaign_worker, jobs, chunksize=1
+        ):
+            yield from _consume(index, result)
+
+
+def run_campaign(
+    specs: Sequence[ScenarioSpec],
+    seeds: Sequence[int],
+    *,
+    workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[CampaignEntry]:
+    """Run a whole campaign; return entries in input scenario order."""
+    entries = list(
+        iter_campaign(specs, seeds, workers=workers, progress=progress)
+    )
+    return sorted(entries, key=lambda entry: entry.index)
+
+
+def campaign_to_json(entries: Iterable[CampaignEntry]) -> list[dict]:
+    """Flatten campaign entries to JSON-serializable records."""
+    records = []
+    for entry in sorted(entries, key=lambda e: e.index):
+        sweep = entry.sweep
+        latencies = sweep.latencies
+        summary = sweep.latency_summary() if latencies else None
+        records.append(
+            {
+                "label": entry.spec.label,
+                "spec": asdict(entry.spec),
+                "trials": len(sweep.results),
+                "success_rate": sweep.success_rate,
+                "latency_mean": summary.mean if summary else None,
+                "latency_median": summary.median if summary else None,
+                "latency_max": summary.maximum if summary else None,
+                "mean_messages_per_beat": sweep.mean_messages_per_beat,
+                "mean_beats_run": sum(r.beats_run for r in sweep.results)
+                / len(sweep.results),
+                "latencies": latencies,
+                "seeds": [r.seed for r in sweep.results],
+            }
+        )
+    return records
+
+
+def single_scenario_sweep(
+    spec: ScenarioSpec,
+    seeds: Sequence[int],
+    *,
+    workers: int | None = None,
+) -> SweepResult:
+    """Convenience: campaign of one scenario, returning its sweep."""
+    (entry,) = run_campaign([spec], seeds, workers=workers)
+    return entry.sweep

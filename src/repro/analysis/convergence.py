@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.problem import converged_at, is_clock_synched
+from repro.core.problem import closure_holds, converged_at, is_clock_synched
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.simulator import Simulation
@@ -26,19 +26,43 @@ class ClockConvergenceMonitor:
         self.k = k
         #: ``history[b]`` = tuple of correct clock values at end of beat b.
         self.history: list[tuple[int | None, ...]] = []
+        # First beat of the current trailing synched-in-closure streak,
+        # maintained incrementally so early-exit checks stay O(1) per beat.
+        self._streak_start: int | None = None
 
     def __call__(self, simulation: "Simulation", beat: int) -> None:
         values = tuple(
             root.clock_value
             for _, root in sorted(simulation.honest_roots().items())
         )
-        self.history.append(values)
+        history = self.history
+        if not is_clock_synched(values):
+            self._streak_start = None
+        elif self._streak_start is None or not closure_holds(
+            history[-1], values, self.k
+        ):
+            self._streak_start = len(history)
+        history.append(values)
 
     # -- queries -----------------------------------------------------------
 
     @property
     def beats_recorded(self) -> int:
         return len(self.history)
+
+    @property
+    def closure_streak(self) -> int:
+        """Length of the trailing synched-in-closure run, in beats.
+
+        ``0`` when the latest beat is not clock-synched; ``1`` when it is
+        synched but has not yet witnessed a closure step; ``m`` when the
+        last ``m`` beats are synched and each consecutive pair increments
+        by one mod k.  Maintained incrementally by :meth:`__call__` (it is
+        not recomputed for histories assigned directly).
+        """
+        if self._streak_start is None:
+            return 0
+        return len(self.history) - self._streak_start
 
     def synched_now(self) -> bool:
         """Whether the latest recorded beat is clock-synched."""

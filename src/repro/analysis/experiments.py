@@ -4,6 +4,14 @@ One *trial* = build a simulation, scramble every correct node (the
 worst-case transient fault), run up to ``max_beats``, and report when the
 k-Clock problem's convergence + closure held (Definition 3.2).  Sweeps
 repeat trials across seeds and aggregate with :mod:`repro.analysis.stats`.
+
+Trials stop early by default: once the system has been clock-synched and
+in closure for ``closure_window`` consecutive beats past its convergence
+beat (and every scheduled mid-run fault has been injected), the remaining
+budget is provably uneventful for the convergence measurement and is
+skipped.  ``TrialResult.beats_run`` always reflects the beats actually
+executed, so per-beat rates stay honest.  For parallel multi-scenario
+campaigns over picklable specs, see :mod:`repro.analysis.campaign`.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Callable, Sequence
 from repro.adversary.base import Adversary
 from repro.analysis.convergence import ClockConvergenceMonitor
 from repro.analysis.stats import Summary, summarize
+from repro.errors import ConfigurationError
 from repro.net.component import Component
 from repro.net.simulator import Simulation
 
@@ -34,6 +43,14 @@ class TrialConfig:
         adversary_factory: builds a fresh adversary per trial (or None).
         max_beats: give up after this many beats.
         scramble: apply the worst-case transient fault before beat 0.
+        scramble_beats: fault schedule — additional beats *before* which
+            every correct node is re-scrambled mid-run; convergence is then
+            measured from the last scheduled fault.
+        early_stop: stop once convergence plus a ``closure_window``-beat
+            closure run is confirmed instead of burning the whole budget.
+        closure_window: closure beats (beyond the convergence beat) that
+            must be observed before an early stop.
+        engine: simulation engine name (``"fast"`` or ``"reference"``).
     """
 
     n: int
@@ -43,11 +60,20 @@ class TrialConfig:
     adversary_factory: AdversaryFactory = lambda: None
     max_beats: int = 500
     scramble: bool = True
+    scramble_beats: tuple[int, ...] = ()
+    early_stop: bool = True
+    closure_window: int = 12
+    engine: str = "fast"
 
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Outcome of one trial."""
+    """Outcome of one trial.
+
+    ``beats_run`` counts beats actually executed — with early stopping it
+    is usually well below ``config.max_beats``, and ``history`` has exactly
+    ``beats_run`` entries.
+    """
 
     seed: int
     converged_beat: int | None
@@ -70,23 +96,53 @@ class TrialResult:
 
 
 def run_trial(config: TrialConfig, seed: int) -> TrialResult:
-    """Run one scrambled-start convergence trial."""
+    """Run one scrambled-start convergence trial.
+
+    The trial executes at most ``config.max_beats`` beats, but stops as
+    soon as (a) every fault scheduled in ``config.scramble_beats`` has
+    been injected and (b) the system has stayed clock-synched and in
+    closure for ``config.closure_window`` beats beyond its convergence
+    beat — after that, extra beats cannot change the reported convergence.
+    Pass ``early_stop=False`` to always burn the full budget (e.g. to
+    measure steady-state traffic over a fixed horizon).
+    """
     simulation = Simulation(
         config.n,
         config.f,
         config.protocol_factory,
         adversary=config.adversary_factory(),
         seed=seed,
+        engine=config.engine,
     )
     monitor = ClockConvergenceMonitor(config.k)
     simulation.add_monitor(monitor)
     if config.scramble:
         simulation.scramble()
-    simulation.run(config.max_beats)
+    scramble_beats = frozenset(config.scramble_beats)
+    if any(not 0 <= beat < config.max_beats for beat in scramble_beats):
+        raise ConfigurationError(
+            f"scramble_beats {sorted(scramble_beats)} must lie within "
+            f"[0, max_beats={config.max_beats}) or they would silently "
+            "never fire"
+        )
+    last_fault = max(scramble_beats, default=0)
+    window = max(1, config.closure_window)
+    beats_run = 0
+    for beat in range(config.max_beats):
+        if beat in scramble_beats:
+            simulation.scramble()
+        simulation.run_beat()
+        beats_run += 1
+        if (
+            config.early_stop
+            and beat >= last_fault
+            and monitor.closure_streak > window
+        ):
+            break
     return TrialResult(
         seed=seed,
-        converged_beat=monitor.convergence_beat(),
-        beats_run=config.max_beats,
+        converged_beat=monitor.convergence_beat(from_beat=last_fault),
+        beats_run=beats_run,
         total_messages=simulation.stats.total_messages,
         history=tuple(monitor.history),
     )

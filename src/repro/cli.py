@@ -6,41 +6,43 @@ Commands:
   per-beat clock table;
 * ``table1`` — regenerate the paper's Table 1 comparison;
 * ``coin`` — stream the self-stabilizing coin and report agreement stats;
+* ``campaign`` — fan a scenario grid out across worker processes and
+  stream aggregated per-scenario results;
 * ``adversaries`` — list the built-in Byzantine strategies.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` (campaigns: given the
+seed range, at any worker count).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Callable, Sequence
 
 from repro import coin_by_name, synchronize
-from repro.adversary import (
-    Adversary,
-    CrashAdversary,
-    DealerAttackAdversary,
-    EquivocatorAdversary,
-    MixedDealingAdversary,
-    RandomNoiseAdversary,
-    SplitWorldAdversary,
-)
+from repro.adversary import Adversary
 from repro.analysis import render_table, table1_comparison
+from repro.analysis.campaign import (
+    ADVERSARY_REGISTRY,
+    COIN_REGISTRY,
+    PROTOCOL_REGISTRY,
+    campaign_to_json,
+    iter_campaign,
+    scenario_grid,
+)
 from repro.core.pipeline import CoinFlipPipeline
+from repro.errors import ConfigurationError
+from repro.net.engine import ENGINES
 from repro.net.simulator import Simulation
 
 __all__ = ["ADVERSARIES", "main"]
 
 ADVERSARIES: dict[str, Callable[[], Adversary | None]] = {
-    "none": lambda: None,
-    "crash": CrashAdversary,
-    "noise": RandomNoiseAdversary,
-    "equivocator": EquivocatorAdversary,
-    "split-world": SplitWorldAdversary,
-    "dealer-attack": DealerAttackAdversary,
-    "mixed-dealing": MixedDealingAdversary,
+    name: (lambda: None) if cls is None else cls
+    for name, cls in ADVERSARY_REGISTRY.items()
 }
 
 
@@ -78,6 +80,58 @@ def _build_parser() -> argparse.ArgumentParser:
     coin.add_argument("--adversary", default="none", choices=sorted(ADVERSARIES))
     coin.add_argument("--seed", type=int, default=0)
     coin.add_argument("--beats", type=int, default=30)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a parallel experiment campaign over a scenario grid",
+    )
+    campaign.add_argument(
+        "--protocol", default="clock-sync", choices=sorted(PROTOCOL_REGISTRY)
+    )
+    campaign.add_argument(
+        "--coin", default="oracle", choices=sorted(COIN_REGISTRY)
+    )
+    campaign.add_argument(
+        "--n", type=int, nargs="+", default=[4, 7, 10],
+        help="system sizes (grid axis)",
+    )
+    campaign.add_argument(
+        "--f", type=int, nargs="*", default=None,
+        help="fault parameters, one per --n (default ⌊(n-1)/3⌋)",
+    )
+    campaign.add_argument(
+        "--k", type=int, nargs="+", default=[8], help="clock moduli (grid axis)"
+    )
+    campaign.add_argument(
+        "--adversary", nargs="+", default=["none"],
+        choices=sorted(ADVERSARY_REGISTRY), help="adversaries (grid axis)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=10, help="trials per scenario"
+    )
+    campaign.add_argument(
+        "--seed-base", type=int, default=0, help="first seed of the range"
+    )
+    campaign.add_argument("--beats", type=int, default=500)
+    campaign.add_argument(
+        "--scramble-beats", type=int, nargs="*", default=[],
+        help="mid-run fault schedule: re-scramble all correct nodes "
+             "before these beats",
+    )
+    campaign.add_argument("--closure-window", type=int, default=12)
+    campaign.add_argument(
+        "--no-early-stop", action="store_true",
+        help="always burn the full beat budget",
+    )
+    campaign.add_argument("--engine", default="fast", choices=sorted(ENGINES))
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU)",
+    )
+    campaign.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write aggregated results to this JSON file",
+    )
 
     commands.add_parser("adversaries", help="list built-in Byzantine strategies")
     return parser
@@ -150,6 +204,74 @@ def _cmd_coin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_row(entry) -> list[str]:
+    sweep = entry.sweep
+    latencies = sweep.latencies
+    if latencies:
+        summary = sweep.latency_summary()
+        latency = f"{summary.mean:.1f} (median {summary.median:.0f})"
+    else:
+        latency = "-"
+    mean_beats = sum(r.beats_run for r in sweep.results) / len(sweep.results)
+    return [
+        entry.spec.label,
+        f"{sweep.success_rate * 100:.0f}%",
+        latency,
+        f"{sweep.mean_messages_per_beat:.0f}",
+        f"{mean_beats:.0f}",
+    ]
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        specs = scenario_grid(
+            args.n,
+            ks=args.k,
+            adversaries=args.adversary,
+            fs=args.f,
+            protocol=args.protocol,
+            coin=args.coin,
+            max_beats=args.beats,
+            scramble_beats=tuple(args.scramble_beats),
+            early_stop=not args.no_early_stop,
+            closure_window=args.closure_window,
+            engine=args.engine,
+        )
+        for spec in specs:
+            spec.validate()
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    total = len(specs) * args.seeds
+    print(
+        f"campaign: {len(specs)} scenarios x {args.seeds} seeds "
+        f"({total} trials, engine={args.engine})"
+    )
+    started = time.perf_counter()
+    entries = []
+    for entry in iter_campaign(specs, seeds, workers=args.workers):
+        entries.append(entry)
+        row = _campaign_row(entry)
+        print(f"  [{len(entries)}/{len(specs)}] {row[0]}: "
+              f"success {row[1]}, conv {row[2]}, msgs/beat {row[3]}")
+    elapsed = time.perf_counter() - started
+    entries.sort(key=lambda e: e.index)
+    print()
+    print(
+        render_table(
+            ["scenario", "success", "conv. beats", "msgs/beat", "beats run"],
+            [_campaign_row(entry) for entry in entries],
+        )
+    )
+    print(f"\n{total} trials in {elapsed:.1f}s")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(campaign_to_json(entries), handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
 def _cmd_adversaries(_args: argparse.Namespace) -> int:
     for name, factory in sorted(ADVERSARIES.items()):
         instance = factory()
@@ -162,6 +284,7 @@ _HANDLERS = {
     "demo": _cmd_demo,
     "table1": _cmd_table1,
     "coin": _cmd_coin,
+    "campaign": _cmd_campaign,
     "adversaries": _cmd_adversaries,
 }
 

@@ -1,6 +1,14 @@
 """Synchronous global-beat-system network substrate (paper §2 model)."""
 
 from repro.net.component import SEND, UPDATE, BeatContext, Component
+from repro.net.engine import (
+    ENGINES,
+    Engine,
+    FastEngine,
+    FastOutbox,
+    ReferenceEngine,
+    resolve_engine,
+)
 from repro.net.environment import (
     EVENT_DIVERGENT,
     EVENT_E0,
@@ -21,8 +29,14 @@ __all__ = [
     "BeatRecord",
     "CoinOutcome",
     "Component",
+    "ENGINES",
+    "Engine",
     "Environment",
     "Envelope",
+    "FastEngine",
+    "FastOutbox",
+    "ReferenceEngine",
+    "resolve_engine",
     "EVENT_DIVERGENT",
     "EVENT_E0",
     "EVENT_E1",

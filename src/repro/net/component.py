@@ -195,6 +195,11 @@ class Component:
         """Return the child registered under ``name``."""
         return self._children[name]
 
+    @property
+    def children(self) -> dict[str, "Component"]:
+        """Read-only view of the registered children, in insertion order."""
+        return dict(self._children)
+
     # -- protocol hooks ---------------------------------------------------
 
     def on_send(self, ctx: BeatContext) -> None:

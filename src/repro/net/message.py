@@ -24,13 +24,16 @@ __all__ = ["BROADCAST", "Envelope", "Outbox"]
 BROADCAST = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """One delivered message.
 
     Attributes:
         sender: node id of the (claimed and network-verified) sender.
-        receiver: node id of the destination.
+        receiver: node id of the destination.  Honest broadcast copies
+            delivered by the fast engine carry :data:`BROADCAST` here — the
+            copy is shared between all receivers; honest protocol code never
+            reads this field (a node knows who it is).
         path: component path, e.g. ``"clock_sync/A/A1/coin/slot2"``.
         payload: arbitrary hashable application data.
         beat: global beat index at which the message was sent.

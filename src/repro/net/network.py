@@ -18,7 +18,26 @@ from dataclasses import dataclass, field
 from repro.errors import ProtocolViolationError
 from repro.net.message import Envelope
 
-__all__ = ["MessageStats", "Router"]
+__all__ = ["MessageStats", "Router", "ensure_faulty_senders"]
+
+
+def ensure_faulty_senders(
+    faulty_ids: frozenset[int], envelopes: list[Envelope]
+) -> list[Envelope]:
+    """Reject adversary envelopes that forge an honest sender identity.
+
+    Definition 2.2 item 2: a non-faulty network does not tamper with sender
+    identity, so the adversary can speak only for faulty nodes.  Forgeries
+    indicate a buggy adversary implementation and raise, since silently
+    dropping them would make attacks look weaker than written.
+    """
+    for envelope in envelopes:
+        if envelope.sender not in faulty_ids:
+            raise ProtocolViolationError(
+                f"adversary forged sender {envelope.sender}, faulty ids "
+                f"are {sorted(faulty_ids)}"
+            )
+    return envelopes
 
 
 @dataclass
@@ -30,6 +49,17 @@ class MessageStats:
     byzantine_messages: int = 0
     per_beat: Counter = field(default_factory=Counter)
     per_path_prefix: Counter = field(default_factory=Counter)
+    # Paths repeat every beat; splitting them each time churns strings, so
+    # the two-level prefix is computed once per distinct path.
+    _prefix_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def prefix_of(self, path: str) -> str:
+        """The top-two-level accounting prefix of ``path``, e.g. "root/A"."""
+        prefix = self._prefix_cache.get(path)
+        if prefix is None:
+            prefix = "/".join(path.split("/", 2)[:2])
+            self._prefix_cache[path] = prefix
+        return prefix
 
     def record(self, envelope: Envelope, honest: bool) -> None:
         self.total_messages += 1
@@ -38,9 +68,19 @@ class MessageStats:
         else:
             self.byzantine_messages += 1
         self.per_beat[envelope.beat] += 1
-        # Attribute traffic to the top two path levels, e.g. "root/A".
-        parts = envelope.path.split("/")
-        self.per_path_prefix["/".join(parts[:2])] += 1
+        self.per_path_prefix[self.prefix_of(envelope.path)] += 1
+
+    def record_fanout(
+        self, path: str, beat: int, count: int, honest: bool = True
+    ) -> None:
+        """Account for ``count`` copies of one broadcast in O(1)."""
+        self.total_messages += count
+        if honest:
+            self.honest_messages += count
+        else:
+            self.byzantine_messages += count
+        self.per_beat[beat] += count
+        self.per_path_prefix[self.prefix_of(path)] += count
 
     def messages_at_beat(self, beat: int) -> int:
         return self.per_beat.get(beat, 0)
@@ -49,10 +89,15 @@ class MessageStats:
 class Router:
     """Collects one beat's messages and routes them into per-node inboxes."""
 
-    def __init__(self, n: int, faulty_ids: frozenset[int]) -> None:
+    def __init__(
+        self,
+        n: int,
+        faulty_ids: frozenset[int],
+        stats: MessageStats | None = None,
+    ) -> None:
         self.n = n
         self.faulty_ids = faulty_ids
-        self.stats = MessageStats()
+        self.stats = stats if stats is not None else MessageStats()
         self._pending_phantoms: list[Envelope] = []
 
     def inject_phantoms(self, envelopes: list[Envelope]) -> None:
@@ -74,13 +119,7 @@ class Router:
         Forgeries indicate a buggy adversary implementation and raise, since
         silently dropping them would make attacks look weaker than written.
         """
-        for envelope in envelopes:
-            if envelope.sender not in self.faulty_ids:
-                raise ProtocolViolationError(
-                    f"adversary forged sender {envelope.sender}, faulty ids "
-                    f"are {sorted(self.faulty_ids)}"
-                )
-        return envelopes
+        return ensure_faulty_senders(self.faulty_ids, envelopes)
 
     def route(
         self,

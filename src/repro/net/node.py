@@ -58,10 +58,18 @@ class Node:
             component=self.root,
         )
 
-    def send_phase(self, beat: int) -> list[Envelope]:
-        """Run the send phase of one beat; return the emitted messages."""
+    def send_phase(self, beat: int, outbox=None):
+        """Run the send phase of one beat; return the drained outbox.
+
+        ``outbox`` is any object with the :class:`~repro.net.message.Outbox`
+        interface (``send`` / ``broadcast`` / ``drain``); engines supply
+        their own collectors (e.g. fan-out recording), the default is the
+        envelope-per-receiver :class:`Outbox`.  The return value is whatever
+        ``outbox.drain()`` yields.
+        """
         self.root.begin_beat()
-        outbox = Outbox(self.node_id, beat)
+        if outbox is None:
+            outbox = Outbox(self.node_id, beat)
         self.root.on_send(self._context(beat, SEND, outbox, None))
         return outbox.drain()
 

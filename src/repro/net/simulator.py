@@ -1,7 +1,8 @@
 """The global beat system: a lock-step simulation driver.
 
-One :class:`Simulation` owns the correct nodes, the adversary, the router
-and the shared environment, and advances them beat by beat:
+One :class:`Simulation` owns the correct nodes, the adversary, the
+execution engine (see :mod:`repro.net.engine`) and the shared environment,
+and advances them beat by beat:
 
 1. **begin beat** — the environment learns the new beat index;
 2. **send phase** — every correct node's component tree emits messages from
@@ -9,7 +10,7 @@ and the shared environment, and advances them beat by beat:
 3. **adversary phase** — the (rushing) adversary inspects every message
    addressed to a faulty node, plus the current beat's coin (§6.1), and
    crafts the faulty nodes' messages;
-4. **delivery** — the router validates sender identities and routes all of
+4. **delivery** — the engine validates sender identities and routes all of
    the beat's traffic (plus any queued phantom messages) into per-node,
    per-component inboxes;
 5. **update phase** — every correct node consumes its inboxes and the coin
@@ -29,9 +30,9 @@ from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 from repro.errors import ConfigurationError, check_resilience
 from repro.net.component import Component
+from repro.net.engine import DEFAULT_ENGINE, Engine, resolve_engine
 from repro.net.environment import Environment
 from repro.net.message import Envelope
-from repro.net.network import Router
 from repro.net.node import Node
 from repro.net.rng import SeedSequence
 
@@ -62,6 +63,11 @@ class Simulation:
         enforce_resilience: set to ``False`` only for experiments that
             deliberately cross the f < n/3 bound (the F3 resilience bench);
             protocols are *expected* to fail there.
+        engine: execution engine — a name from
+            :data:`~repro.net.engine.ENGINES` (``"fast"`` or
+            ``"reference"``) or a fresh :class:`~repro.net.engine.Engine`
+            instance.  Both engines produce bit-identical runs; the fast
+            one shares broadcast fan-outs instead of copying envelopes.
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class Simulation:
         seed: int = 0,
         root_path: str = "root",
         enforce_resilience: bool = True,
+        engine: "str | Engine" = DEFAULT_ENGINE,
     ) -> None:
         if enforce_resilience:
             check_resilience(n, f)
@@ -113,7 +120,8 @@ class Simulation:
             )
             for i in self.honest_ids
         }
-        self.router = Router(n, self.faulty_ids)
+        self.engine = resolve_engine(engine)
+        self.engine.bind(self)
         self.beat = 0
         self.monitors: list[Monitor] = []
         self._fault_rng = self.seeds.stream("faults")
@@ -123,7 +131,12 @@ class Simulation:
     @property
     def stats(self):
         """Network traffic statistics (see :class:`MessageStats`)."""
-        return self.router.stats
+        return self.engine.stats
+
+    @property
+    def adversary_rng(self) -> random.Random:
+        """RNG stream reserved for the adversary (engines build its view)."""
+        return self._adversary_rng
 
     def honest_roots(self) -> dict[int, Component]:
         """Map of honest node id to its root component."""
@@ -148,7 +161,7 @@ class Simulation:
 
     def inject_phantoms(self, envelopes: list[Envelope]) -> None:
         """Queue phantom messages for the next beat's delivery."""
-        self.router.inject_phantoms(envelopes)
+        self.engine.inject_phantoms(envelopes)
 
     def phantom_rng(self) -> random.Random:
         """RNG stream reserved for phantom/fault generation helpers."""
@@ -160,28 +173,7 @@ class Simulation:
         """Advance the system by one beat."""
         beat = self.beat
         self.env.begin_beat(beat)
-        honest_envelopes: list[Envelope] = []
-        for node in self.nodes.values():
-            honest_envelopes.extend(node.send_phase(beat))
-        byzantine_envelopes: list[Envelope] = []
-        if self.adversary is not None and self.faulty_ids:
-            from repro.adversary.base import AdversaryView
-
-            view = AdversaryView(
-                beat=beat,
-                n=self.n,
-                f=self.f,
-                faulty_ids=self.faulty_ids,
-                visible_messages=[
-                    e for e in honest_envelopes if e.receiver in self.faulty_ids
-                ],
-                env=self.env,
-                rng=self._adversary_rng,
-            )
-            byzantine_envelopes = list(self.adversary.craft_messages(view))
-        delivered = self.router.route(honest_envelopes, byzantine_envelopes)
-        for node_id, node in self.nodes.items():
-            node.update_phase(beat, delivered.get(node_id, {}))
+        self.engine.execute_beat(self, beat)
         for monitor in self.monitors:
             monitor(self, beat)
         self.beat = beat + 1

@@ -109,9 +109,41 @@ class TestTrialHarness:
         result = run_trial(self._config(), seed=0)
         assert result.converged
         assert result.converged_beat is not None
-        assert result.beats_run == 150
+        # Early stop: convergence + the closure window, not the full budget.
+        assert result.converged_beat < result.beats_run < 150
         assert result.total_messages > 0
+        assert len(result.history) == result.beats_run
+
+    def test_early_stop_disabled_burns_full_budget(self):
+        result = run_trial(self._config(early_stop=False), seed=0)
+        assert result.converged
+        assert result.beats_run == 150
         assert len(result.history) == 150
+
+    def test_early_stop_observes_closure_window(self):
+        for window in (5, 20):
+            result = run_trial(self._config(closure_window=window), seed=0)
+            assert result.converged
+            # At least `window` closure beats follow the convergence beat.
+            assert result.beats_run >= result.converged_beat + window
+
+    def test_unconverged_trial_runs_full_budget(self):
+        # An impossible modulus cannot converge, so nothing early-stops.
+        config = self._config(max_beats=12, k=10**9)
+        result = run_trial(config, seed=0)
+        assert result.beats_run == 12
+
+    def test_out_of_range_fault_schedule_rejected(self):
+        from repro.errors import ConfigurationError
+
+        config = self._config(scramble_beats=(150,))
+        with pytest.raises(ConfigurationError):
+            run_trial(config, seed=0)
+
+    def test_mid_run_fault_schedule_measured_from_last_fault(self):
+        result = run_trial(self._config(scramble_beats=(40,)), seed=0)
+        assert result.converged
+        assert result.converged_beat >= 40
 
     def test_trial_deterministic_per_seed(self):
         a = run_trial(self._config(), seed=7)
@@ -121,7 +153,7 @@ class TestTrialHarness:
     def test_messages_per_beat(self):
         result = run_trial(self._config(), seed=1)
         assert result.messages_per_beat == pytest.approx(
-            result.total_messages / 150
+            result.total_messages / result.beats_run
         )
 
     def test_sweep_aggregates(self):
