@@ -15,7 +15,8 @@ Quickstart::
     result = repro.synchronize(n=7, f=2, k=60, seed=1)
     print(result.converged_beat, result.history[-1])
 
-See README.md for the full tour and DESIGN.md for the paper-to-code map.
+See README.md for the full tour and docs/protocol.md for the
+paper-to-code map.
 """
 
 from __future__ import annotations
@@ -35,18 +36,34 @@ from repro.core.clock_sync import SSByzClockSync
 from repro.core.pipeline import CoinFlipPipeline
 from repro.core.power_of_two import RecursiveDoublingClock
 from repro.errors import ConfigurationError, ReproError
+from repro.net.linkmodel import (
+    LINK_MODELS,
+    BoundedDelayLinks,
+    LinkModel,
+    LossyLinks,
+    PartitionLinks,
+    PerfectLinks,
+    make_link,
+    normalize_link_params,
+)
 from repro.net.simulator import Simulation
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Adversary",
+    "BoundedDelayLinks",
     "CoinAlgorithm",
     "CoinFlipPipeline",
     "ConfigurationError",
     "FeldmanMicaliCoin",
+    "LINK_MODELS",
+    "LinkModel",
     "LocalCoin",
+    "LossyLinks",
     "OracleCoin",
+    "PartitionLinks",
+    "PerfectLinks",
     "RecursiveDoublingClock",
     "ReproError",
     "SSByz2Clock",
@@ -57,6 +74,8 @@ __all__ = [
     "TrialConfig",
     "TrialResult",
     "coin_by_name",
+    "make_link",
+    "normalize_link_params",
     "run_campaign",
     "run_trial",
     "scenario_grid",
@@ -94,6 +113,8 @@ def synchronize(
     scramble: bool = True,
     early_stop: bool = True,
     engine: str = "fast",
+    link: str = "perfect",
+    link_params: dict | None = None,
 ) -> TrialResult:
     """Run ss-Byz-Clock-Sync from a worst-case scrambled state.
 
@@ -103,7 +124,9 @@ def synchronize(
     (Definition 3.2), and whose ``history`` holds every beat's clock values
     for inspection.  With ``early_stop`` (the default) the run ends once
     convergence plus a closure window is confirmed; ``engine`` selects the
-    simulation engine (``"fast"`` or ``"reference"``).
+    simulation engine (``"fast"`` or ``"reference"``); ``link`` (with
+    ``link_params``) degrades the network beyond the paper's model — e.g.
+    ``link="lossy", link_params={"loss": 0.1}`` drops 10% of envelopes.
     """
     coin_factory = coin_by_name(coin, n, f)
     config = TrialConfig(
@@ -116,5 +139,7 @@ def synchronize(
         scramble=scramble,
         early_stop=early_stop,
         engine=engine,
+        link=link,
+        link_params=normalize_link_params(link_params),
     )
     return run_trial(config, seed)

@@ -6,12 +6,13 @@ a quick table, unusable for the thousand-trial grids the related work runs
 This module is the scale-out layer on top of the trial harness:
 
 * :class:`ScenarioSpec` — a frozen, *picklable* description of one
-  configuration: protocol family, coin, ``(n, f, k)``, adversary, fault
-  schedule, beat budget, early-stop policy and engine.  Specs cross
-  process boundaries; the per-node component factories they imply are
-  rebuilt inside each worker via the module-level registries below.
-* :func:`scenario_grid` — expand axes (n, k, adversary) into a spec list,
-  deriving ``f = ⌊(n-1)/3⌋`` when not pinned.
+  configuration: protocol family, coin, ``(n, f, k)``, adversary, link
+  conditions, fault schedule, beat budget, early-stop policy and engine.
+  Specs cross process boundaries; the per-node component factories they
+  imply are rebuilt inside each worker via the module-level registries
+  below.
+* :func:`scenario_grid` — expand axes (n, k, adversary, link) into a spec
+  list, deriving ``f = ⌊(n-1)/3⌋`` when not pinned.
 * :func:`iter_campaign` / :func:`run_campaign` — fan one seed-trial out
   per worker process, early-exit each trial once convergence plus a
   closure window is confirmed, and stream one aggregated
@@ -50,11 +51,13 @@ from repro.coin.local import LocalCoin
 from repro.coin.oracle import OracleCoin
 from repro.core.clock_sync import SSByzClockSync
 from repro.errors import ConfigurationError
+from repro.net.linkmodel import LINK_MODELS, make_link, normalize_link_params
 
 __all__ = [
     "ADVERSARY_REGISTRY",
     "COIN_REGISTRY",
     "CampaignEntry",
+    "LINK_REGISTRY",
     "PROTOCOL_REGISTRY",
     "ScenarioSpec",
     "campaign_to_json",
@@ -86,6 +89,10 @@ PROTOCOL_REGISTRY: tuple[str, ...] = (
 #: Coin names accepted by :class:`ScenarioSpec.coin` (clock-sync only).
 COIN_REGISTRY: tuple[str, ...] = ("oracle", "gvss", "local")
 
+#: Link-condition model names accepted by :class:`ScenarioSpec.link`
+#: (shared with the CLI's ``--link`` flag).
+LINK_REGISTRY: tuple[str, ...] = tuple(sorted(LINK_MODELS))
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -104,6 +111,13 @@ class ScenarioSpec:
         early_stop / closure_window: early-exit policy (see
             :func:`~repro.analysis.experiments.run_trial`).
         engine: simulation engine name.
+        link: link-condition model name (``"perfect"``, ``"delay"``,
+            ``"lossy"``, ``"partition"``) — the network every trial of the
+            scenario runs under.
+        link_params: link model parameters as a sorted tuple of
+            ``(name, value)`` pairs (dicts are normalized by
+            :func:`scenario_grid` / the CLI); e.g.
+            ``(("max_delay", 2),)`` for ``link="delay"``.
         share_coin: Remark 4.1's shared coin pipeline (clock-sync only).
         coin_p0, coin_p1, coin_rounds: oracle-coin tuning; ``None`` keeps
             the :class:`~repro.coin.oracle.OracleCoin` defaults.
@@ -122,6 +136,8 @@ class ScenarioSpec:
     early_stop: bool = True
     closure_window: int = 12
     engine: str = "fast"
+    link: str = "perfect"
+    link_params: tuple[tuple[str, object], ...] = ()
     share_coin: bool = False
     coin_p0: float | None = None
     coin_p1: float | None = None
@@ -148,6 +164,9 @@ class ScenarioSpec:
                 f"scramble_beats {sorted(self.scramble_beats)} must lie "
                 f"within [0, max_beats={self.max_beats})"
             )
+        # Building the model validates both the name and the parameters
+        # eagerly, in the driving process — not beats into a worker trial.
+        make_link(self.link, dict(self.link_params))
 
     @property
     def label(self) -> str:
@@ -162,6 +181,10 @@ class ScenarioSpec:
         parts.append(f"k={self.k}")
         if self.adversary != "none":
             parts.append(f"adv={self.adversary}")
+        if self.link != "perfect":
+            parts.append(
+                make_link(self.link, dict(self.link_params)).describe()
+            )
         if self.scramble_beats:
             parts.append(f"storms={list(self.scramble_beats)}")
         if self.tag:
@@ -213,7 +236,19 @@ class ScenarioSpec:
             early_stop=spec.early_stop,
             closure_window=spec.closure_window,
             engine=spec.engine,
+            link=spec.link,
+            link_params=spec.link_params,
         )
+
+
+def _normalize_link_axis(
+    entry: "str | tuple[str, object]",
+) -> tuple[str, tuple[tuple[str, object], ...]]:
+    """Normalize one ``links`` axis entry: a name or ``(name, params)``."""
+    if isinstance(entry, str):
+        return entry, ()
+    name, params = entry
+    return name, normalize_link_params(params)
 
 
 def scenario_grid(
@@ -221,18 +256,24 @@ def scenario_grid(
     *,
     ks: Iterable[int] = (8,),
     adversaries: Iterable[str] = ("none",),
+    links: Iterable["str | tuple[str, object]"] = ("perfect",),
     fs: Sequence[int] | None = None,
     **common: object,
 ) -> list[ScenarioSpec]:
-    """Expand an n × k × adversary grid into scenario specs.
+    """Expand an n × k × adversary × link grid into scenario specs.
 
     ``fs`` pins one fault parameter per entry of ``ns`` (same length);
-    omitted, it defaults to the resilience-optimal ``⌊(n-1)/3⌋``.  Extra
+    omitted, it defaults to the resilience-optimal ``⌊(n-1)/3⌋``.  Each
+    ``links`` entry is a model name or a ``(name, params)`` pair, where
+    ``params`` is a dict or pair-tuple of keyword arguments — e.g.
+    ``links=[("delay", {"max_delay": 2}), ("lossy", {"loss": 0.1})]``
+    crosses every existing scenario with two degraded networks.  Extra
     keyword arguments are forwarded to every :class:`ScenarioSpec`.
     """
     ns = list(ns)
     ks = list(ks)  # materialize: one-shot iterables must survive the loop
     adversaries = list(adversaries)
+    link_axis = [_normalize_link_axis(entry) for entry in links]
     if fs is not None and len(fs) != len(ns):
         raise ConfigurationError(
             f"fs has {len(fs)} entries for {len(ns)} system sizes"
@@ -242,9 +283,18 @@ def scenario_grid(
         f = fs[index] if fs is not None else max(0, (n - 1) // 3)
         for k in ks:
             for adversary in adversaries:
-                specs.append(
-                    ScenarioSpec(n=n, f=f, k=k, adversary=adversary, **common)
-                )
+                for link, link_params in link_axis:
+                    specs.append(
+                        ScenarioSpec(
+                            n=n,
+                            f=f,
+                            k=k,
+                            adversary=adversary,
+                            link=link,
+                            link_params=link_params,
+                            **common,
+                        )
+                    )
     return specs
 
 
@@ -362,6 +412,8 @@ def campaign_to_json(entries: Iterable[CampaignEntry]) -> list[dict]:
                 "mean_messages_per_beat": sweep.mean_messages_per_beat,
                 "mean_beats_run": sum(r.beats_run for r in sweep.results)
                 / len(sweep.results),
+                "mean_dropped_messages": sweep.mean_dropped_messages,
+                "mean_delayed_messages": sweep.mean_delayed_messages,
                 "latencies": latencies,
                 "seeds": [r.seed for r in sweep.results],
             }

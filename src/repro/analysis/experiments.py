@@ -24,6 +24,7 @@ from repro.analysis.convergence import ClockConvergenceMonitor
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ConfigurationError
 from repro.net.component import Component
+from repro.net.linkmodel import make_link
 from repro.net.simulator import Simulation
 
 __all__ = ["TrialConfig", "TrialResult", "SweepResult", "run_trial", "run_sweep"]
@@ -51,6 +52,13 @@ class TrialConfig:
         closure_window: closure beats (beyond the convergence beat) that
             must be observed before an early stop.
         engine: simulation engine name (``"fast"`` or ``"reference"``).
+        link: link-condition model name from
+            :data:`~repro.net.linkmodel.LINK_MODELS` (default: the paper's
+            perfect network).
+        link_params: keyword parameters for the link model, as a sorted
+            tuple of ``(name, value)`` pairs so configs stay hashable and
+            picklable (see
+            :func:`~repro.net.linkmodel.normalize_link_params`).
     """
 
     n: int
@@ -64,6 +72,8 @@ class TrialConfig:
     early_stop: bool = True
     closure_window: int = 12
     engine: str = "fast"
+    link: str = "perfect"
+    link_params: tuple[tuple[str, object], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -80,6 +90,8 @@ class TrialResult:
     beats_run: int
     total_messages: int
     history: tuple[tuple[int | None, ...], ...] = field(repr=False)
+    dropped_messages: int = 0
+    delayed_messages: int = 0
 
     @property
     def converged(self) -> bool:
@@ -113,6 +125,7 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
         adversary=config.adversary_factory(),
         seed=seed,
         engine=config.engine,
+        link=make_link(config.link, dict(config.link_params)),
     )
     monitor = ClockConvergenceMonitor(config.k)
     simulation.add_monitor(monitor)
@@ -145,6 +158,8 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
         beats_run=beats_run,
         total_messages=simulation.stats.total_messages,
         history=tuple(monitor.history),
+        dropped_messages=simulation.stats.dropped_messages,
+        delayed_messages=simulation.stats.delayed_messages,
     )
 
 
@@ -173,6 +188,16 @@ class SweepResult:
     @property
     def mean_messages_per_beat(self) -> float:
         return sum(r.messages_per_beat for r in self.results) / len(self.results)
+
+    @property
+    def mean_dropped_messages(self) -> float:
+        """Mean envelopes the link model dropped, per trial."""
+        return sum(r.dropped_messages for r in self.results) / len(self.results)
+
+    @property
+    def mean_delayed_messages(self) -> float:
+        """Mean envelopes the link model deferred, per trial."""
+        return sum(r.delayed_messages for r in self.results) / len(self.results)
 
 
 def run_sweep(config: TrialConfig, seeds: Sequence[int]) -> SweepResult:

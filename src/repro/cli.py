@@ -2,21 +2,25 @@
 
 Commands:
 
-* ``demo`` — run ss-Byz-Clock-Sync from scrambled memory and print the
-  per-beat clock table;
+* ``run`` (alias ``demo``) — run ss-Byz-Clock-Sync from scrambled memory
+  and print the per-beat clock table;
 * ``table1`` — regenerate the paper's Table 1 comparison;
 * ``coin`` — stream the self-stabilizing coin and report agreement stats;
 * ``campaign`` — fan a scenario grid out across worker processes and
   stream aggregated per-scenario results;
-* ``adversaries`` — list the built-in Byzantine strategies.
+* ``adversaries`` — list the built-in Byzantine strategies;
+* ``links`` — list the built-in link-condition models.
 
-Every command is deterministic given ``--seed`` (campaigns: given the
-seed range, at any worker count).
+``run`` and ``campaign`` accept ``--link`` (with ``--link-param k=v``) to
+degrade the network: bounded delay, omission loss, or scheduled
+partitions.  Every command is deterministic given ``--seed`` (campaigns:
+given the seed range, at any worker count, under any link model).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -28,6 +32,7 @@ from repro.analysis import render_table, table1_comparison
 from repro.analysis.campaign import (
     ADVERSARY_REGISTRY,
     COIN_REGISTRY,
+    LINK_REGISTRY,
     PROTOCOL_REGISTRY,
     campaign_to_json,
     iter_campaign,
@@ -36,6 +41,7 @@ from repro.analysis.campaign import (
 from repro.core.pipeline import CoinFlipPipeline
 from repro.errors import ConfigurationError
 from repro.net.engine import ENGINES
+from repro.net.linkmodel import LINK_MODELS
 from repro.net.simulator import Simulation
 
 __all__ = ["ADVERSARIES", "main"]
@@ -44,6 +50,50 @@ ADVERSARIES: dict[str, Callable[[], Adversary | None]] = {
     name: (lambda: None) if cls is None else cls
     for name, cls in ADVERSARY_REGISTRY.items()
 }
+
+
+def _parse_link_param(raw: str) -> tuple[str, object]:
+    """Parse one ``key=value`` link parameter; values become int or float."""
+    key, separator, value = raw.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"link parameter {raw!r} is not of the form key=value"
+        )
+    try:
+        return key, int(value)
+    except ValueError:
+        pass
+    try:
+        return key, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"link parameter {raw!r} needs a numeric value"
+        ) from None
+
+
+def _add_link_arguments(parser: argparse.ArgumentParser, *, grid: bool) -> None:
+    """Attach ``--link`` / ``--link-param`` to a subcommand parser."""
+    if grid:
+        parser.add_argument(
+            "--link", nargs="+", default=["perfect"],
+            choices=sorted(LINK_REGISTRY),
+            help="link-condition models (grid axis)",
+        )
+    else:
+        parser.add_argument(
+            "--link", default="perfect", choices=sorted(LINK_REGISTRY),
+            help="link-condition model the run executes under",
+        )
+    parser.add_argument(
+        "--link-param", action="append", default=[], type=_parse_link_param,
+        metavar="KEY=VALUE",
+        help="link model parameter (repeatable), e.g. --link-param "
+             "max_delay=2, --link-param loss=0.1, --link-param heal=30"
+             + (
+                 "; each model on the grid axis takes the parameters its "
+                 "constructor accepts" if grid else ""
+             ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,15 +106,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    demo = commands.add_parser("demo", help="run the clock from scrambled memory")
-    demo.add_argument("--n", type=int, default=7, help="number of nodes")
-    demo.add_argument("--f", type=int, default=2, help="fault parameter (f < n/3)")
-    demo.add_argument("--k", type=int, default=60, help="clock modulus")
-    demo.add_argument("--coin", default="oracle", choices=["oracle", "gvss", "local"])
-    demo.add_argument("--adversary", default="none", choices=sorted(ADVERSARIES))
-    demo.add_argument("--seed", type=int, default=0)
-    demo.add_argument("--beats", type=int, default=200)
-    demo.add_argument("--show", type=int, default=16, help="beats to print")
+    for name, help_text in (
+        ("run", "run the clock from scrambled memory"),
+        ("demo", "alias of `run` (kept for compatibility)"),
+    ):
+        demo = commands.add_parser(name, help=help_text)
+        demo.add_argument("--n", type=int, default=7, help="number of nodes")
+        demo.add_argument(
+            "--f", type=int, default=2, help="fault parameter (f < n/3)"
+        )
+        demo.add_argument("--k", type=int, default=60, help="clock modulus")
+        demo.add_argument(
+            "--coin", default="oracle", choices=["oracle", "gvss", "local"]
+        )
+        demo.add_argument(
+            "--adversary", default="none", choices=sorted(ADVERSARIES)
+        )
+        demo.add_argument("--seed", type=int, default=0)
+        demo.add_argument("--beats", type=int, default=200)
+        demo.add_argument("--show", type=int, default=16, help="beats to print")
+        _add_link_arguments(demo, grid=False)
 
     table1 = commands.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--n", type=int, default=7)
@@ -124,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="always burn the full beat budget",
     )
     campaign.add_argument("--engine", default="fast", choices=sorted(ENGINES))
+    _add_link_arguments(campaign, grid=True)
     campaign.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: one per CPU)",
@@ -134,33 +196,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("adversaries", help="list built-in Byzantine strategies")
+    commands.add_parser("links", help="list built-in link-condition models")
     return parser
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    result = synchronize(
-        n=args.n,
-        f=args.f,
-        k=args.k,
-        coin=args.coin,
-        adversary=ADVERSARIES[args.adversary](),
-        seed=args.seed,
-        max_beats=args.beats,
-    )
+    link_params = dict(args.link_param)
+    try:
+        result = synchronize(
+            n=args.n,
+            f=args.f,
+            k=args.k,
+            coin=args.coin,
+            adversary=ADVERSARIES[args.adversary](),
+            seed=args.seed,
+            max_beats=args.beats,
+            link=args.link,
+            link_params=link_params,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    link_note = "" if args.link == "perfect" else f" link={args.link}{link_params}"
     print(
         f"ss-Byz-Clock-Sync n={args.n} f={args.f} k={args.k} "
         f"coin={args.coin} adversary={args.adversary} seed={args.seed}"
+        f"{link_note}"
     )
     for beat, values in enumerate(result.history[: args.show]):
         cells = " ".join(
             f"{v:>4}" if v is not None else "   ⊥" for v in values
         )
         print(f"  beat {beat:>3} | {cells}")
+    casualties = ""
+    if result.dropped_messages or result.delayed_messages:
+        casualties = (
+            f", {result.dropped_messages} dropped / "
+            f"{result.delayed_messages} delayed by the link model"
+        )
     if result.converged_beat is None:
-        print(f"did not converge within {args.beats} beats")
+        print(f"did not converge within {args.beats} beats{casualties}")
         return 1
     print(f"converged at beat {result.converged_beat} "
-          f"({result.total_messages} messages total)")
+          f"({result.total_messages} messages total{casualties})")
     return 0
 
 
@@ -222,12 +300,45 @@ def _campaign_row(entry) -> list[str]:
     ]
 
 
+def _link_axis(
+    names: list[str], params: dict[str, object]
+) -> "list[str | tuple[str, dict[str, object]]]":
+    """Route the shared ``--link-param`` pool across the chosen models.
+
+    Each model takes the parameters its constructor accepts, so
+    ``--link delay lossy --link-param max_delay=2 --link-param loss=0.1``
+    parameterizes both axis entries.  A parameter no chosen model accepts
+    is a configuration error (a typo would otherwise silently vanish).
+    """
+    claimed: set[str] = set()
+    axis: "list[str | tuple[str, dict[str, object]]]" = []
+    for name in names:
+        if name == "perfect":
+            axis.append(name)
+            continue
+        accepted = set(
+            inspect.signature(LINK_MODELS[name].__init__).parameters
+        ) - {"self"}
+        chosen = {key: value for key, value in params.items() if key in accepted}
+        claimed.update(chosen)
+        axis.append((name, chosen))
+    unknown = set(params) - claimed
+    if unknown:
+        raise ConfigurationError(
+            f"link parameters {sorted(unknown)} are not accepted by any "
+            f"model in --link {' '.join(names)}"
+        )
+    return axis
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
+        links = _link_axis(args.link, dict(args.link_param))
         specs = scenario_grid(
             args.n,
             ks=args.k,
             adversaries=args.adversary,
+            links=links,
             fs=args.f,
             protocol=args.protocol,
             coin=args.coin,
@@ -280,12 +391,21 @@ def _cmd_adversaries(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_links(_args: argparse.Namespace) -> int:
+    for name, model_cls in sorted(LINK_MODELS.items()):
+        doc = (model_cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<12} {doc}")
+    return 0
+
+
 _HANDLERS = {
+    "run": _cmd_demo,
     "demo": _cmd_demo,
     "table1": _cmd_table1,
     "coin": _cmd_coin,
     "campaign": _cmd_campaign,
     "adversaries": _cmd_adversaries,
+    "links": _cmd_links,
 }
 
 

@@ -1,11 +1,41 @@
-"""Transient faults and network incoherence (the self-stabilization model)."""
+"""The fault model: transient memory faults, network incoherence, links.
+
+Three fault families compose into the self-stabilization scenarios:
+
+* **Transient faults** (:mod:`repro.faults.transient`) — node memory
+  "altered in an arbitrary fashion": :func:`scramble_now` and
+  :class:`TransientFaultSchedule` redraw component state from its domains.
+* **Network incoherence** (:mod:`repro.faults.network_faults`) — phantom
+  messages left in buffers from a faulty period, injected directly into
+  delivery (they bypass link conditioning by design).
+* **Link conditions** (:mod:`repro.net.linkmodel`, re-exported here) —
+  the *ongoing* network behavior: bounded delay, omission loss, and
+  scheduled partitions applied to every envelope between the send and
+  delivery phases.  Unlike a one-shot phantom storm these persist for as
+  long as the model says, which is what the bounded-delay and
+  message-adversary follow-on literature studies.
+"""
 
 from repro.faults.network_faults import inject_phantom_storm, random_phantoms
 from repro.faults.transient import TransientFaultSchedule, scramble_now
+from repro.net.linkmodel import (
+    BoundedDelayLinks,
+    LinkModel,
+    LossyLinks,
+    PartitionLinks,
+    PerfectLinks,
+    make_link,
+)
 
 __all__ = [
+    "BoundedDelayLinks",
+    "LinkModel",
+    "LossyLinks",
+    "PartitionLinks",
+    "PerfectLinks",
     "TransientFaultSchedule",
     "inject_phantom_storm",
+    "make_link",
     "random_phantoms",
     "scramble_now",
 ]

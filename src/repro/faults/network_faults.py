@@ -7,6 +7,12 @@ not recently sent by any currently operating node".  Phantoms may claim
 guaranteed), carry arbitrary payloads, and target arbitrary component
 paths.  Self-stabilizing protocols must converge once the burst stops;
 tests inject a storm at beat 0 and then measure a clean interval.
+
+Phantoms are *stale* traffic and therefore bypass the link-condition
+layer (:mod:`repro.net.linkmodel`): a delaying or lossy link rules on
+messages being sent now, while a phantom models a message that already
+sits in a buffer.  Combine a phantom storm with a non-perfect link model
+to study convergence under both past and ongoing network faults.
 """
 
 from __future__ import annotations

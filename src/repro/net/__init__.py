@@ -16,6 +16,18 @@ from repro.net.environment import (
     CoinOutcome,
     Environment,
 )
+from repro.net.linkmodel import (
+    DEFAULT_LINK,
+    LINK_MODELS,
+    BoundedDelayLinks,
+    LinkModel,
+    LossyLinks,
+    PartitionLinks,
+    PerfectLinks,
+    make_link,
+    normalize_link_params,
+    resolve_link,
+)
 from repro.net.message import BROADCAST, Envelope, Outbox
 from repro.net.network import MessageStats, Router
 from repro.net.node import Node
@@ -27,16 +39,26 @@ __all__ = [
     "BROADCAST",
     "BeatContext",
     "BeatRecord",
+    "BoundedDelayLinks",
     "CoinOutcome",
     "Component",
+    "DEFAULT_LINK",
     "ENGINES",
     "Engine",
     "Environment",
     "Envelope",
     "FastEngine",
     "FastOutbox",
+    "LINK_MODELS",
+    "LinkModel",
+    "LossyLinks",
+    "PartitionLinks",
+    "PerfectLinks",
     "ReferenceEngine",
+    "make_link",
+    "normalize_link_params",
     "resolve_engine",
+    "resolve_link",
     "EVENT_DIVERGENT",
     "EVENT_E0",
     "EVENT_E1",

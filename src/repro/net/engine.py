@@ -24,10 +24,28 @@ driving the update phase.  Two engines ship:
 Both engines produce bit-identical runs: same per-node inbox contents in
 the same delivery order, same traffic statistics, same RNG stream
 consumption.  ``tests/test_engines.py`` enforces this differentially.
+
+Link conditions
+---------------
+
+Each engine also owns the simulation's *link layer*
+(:mod:`repro.net.linkmodel`): between the send and delivery phases, every
+envelope bound for a correct node is classified by the bound
+:class:`~repro.net.linkmodel.LinkModel` — delivered this beat, parked in
+the engine's per-beat in-flight queue to land in a future beat's inboxes,
+or dropped.  Under :class:`~repro.net.linkmodel.PerfectLinks` (the
+default) both engines run their original delivery code untouched, which
+is what makes the perfect model a provable no-op.  Under any other model
+the engines stay differentially equivalent: link decisions are keyed
+randomness (identical whatever order envelopes are classified in), and
+delayed arrivals merge into inboxes in a fixed stage order — for one
+sender, older delayed traffic sorts before the beat's fresh traffic,
+which sorts before phantoms claiming that sender.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import TYPE_CHECKING, Hashable, Protocol, runtime_checkable
 
 from repro.errors import ConfigurationError
@@ -105,6 +123,8 @@ class ReferenceEngine:
     def __init__(self) -> None:
         self.stats = MessageStats()
         self.router: Router | None = None
+        self._link = None
+        self._in_flight: dict[int, list[Envelope]] = {}
 
     def bind(self, simulation: "Simulation") -> None:
         if self.router is not None:
@@ -113,6 +133,7 @@ class ReferenceEngine:
                 "to reuse a configuration across simulations"
             )
         self.router = Router(simulation.n, simulation.faulty_ids, self.stats)
+        self._link = simulation.link
 
     def inject_phantoms(self, envelopes: list[Envelope]) -> None:
         assert self.router is not None, "engine used before bind()"
@@ -129,8 +150,67 @@ class ReferenceEngine:
                 e for e in honest_envelopes if e.receiver in simulation.faulty_ids
             ]
             byzantine_envelopes = _craft_byzantine(simulation, beat, visible)
+        if not (
+            self._link.is_perfect
+            or (not self._in_flight and self._link.perfect_at(beat))
+        ):
+            self._route_linked(simulation, beat, honest_envelopes,
+                               byzantine_envelopes)
+            return
         delivered = self.router.route(honest_envelopes, byzantine_envelopes)
         for node_id, node in simulation.nodes.items():
+            node.update_phase(beat, delivered.get(node_id, {}))
+
+    def _route_linked(
+        self,
+        simulation: "Simulation",
+        beat: int,
+        honest_envelopes: list[Envelope],
+        byzantine_envelopes: list[Envelope],
+    ) -> None:
+        """Delivery with a non-trivial link model in the loop.
+
+        Inbox insertion order (the stable sender sort's tie-break) is:
+        delayed arrivals now due (oldest first), then this beat's honest
+        and Byzantine traffic, then phantoms — the same stage order the
+        fast engine encodes in its merge keys.
+        """
+        link = self._link
+        stats = self.stats
+        nodes = simulation.nodes
+        delivered: dict[int, dict[str, list[Envelope]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for envelope in self._in_flight.pop(beat, ()):
+            delivered[envelope.receiver][envelope.path].append(envelope)
+        for honest, envelopes in (
+            (True, honest_envelopes),
+            (False, self.router.validate_byzantine(byzantine_envelopes)),
+        ):
+            for envelope in envelopes:
+                stats.record(envelope, honest)
+                receiver = envelope.receiver
+                if receiver not in nodes:
+                    continue  # dead letter (faulty receiver): adversary view only
+                if envelope.sender == receiver:
+                    delay = 0  # loopback is always perfect
+                else:
+                    delay = link.classify(envelope.sender, receiver, beat)
+                if delay is None:
+                    stats.record_dropped(envelope)
+                elif delay == 0:
+                    delivered[receiver][envelope.path].append(envelope)
+                else:
+                    stats.record_delayed(envelope)
+                    self._in_flight.setdefault(beat + delay, []).append(envelope)
+        for envelope in self.router.drain_phantoms():
+            stats.record(envelope, honest=False)
+            if envelope.receiver in nodes:
+                delivered[envelope.receiver][envelope.path].append(envelope)
+        for inboxes in delivered.values():
+            for inbox in inboxes.values():
+                inbox.sort(key=lambda e: e.sender)
+        for node_id, node in nodes.items():
             node.update_phase(beat, delivered.get(node_id, {}))
 
 
@@ -189,9 +269,12 @@ class FastEngine:
 
     name = "fast"
 
-    #: Merge-sort stage tags: regular traffic (honest + Byzantine — their
-    #: sender sets are disjoint) sorts before phantoms claiming the same
-    #: sender, mirroring the reference router's stable-sort insertion order.
+    #: Merge-sort stage tags, mirroring the reference router's stable-sort
+    #: insertion order for one sender: delayed arrivals (older traffic a
+    #: link model deferred) sort first, then the beat's regular traffic
+    #: (honest + Byzantine — their sender sets are disjoint), then phantoms
+    #: claiming the same sender.
+    _STAGE_DELAYED = -1
     _STAGE_REGULAR = 0
     _STAGE_PHANTOM = 1
 
@@ -199,6 +282,11 @@ class FastEngine:
         self.stats = MessageStats()
         self._pending_phantoms: list[Envelope] = []
         self._bound = False
+        # In-flight queue: delivery beat -> [(receiver, path, key, envelope)].
+        self._in_flight: dict[
+            int, list[tuple[int, str, tuple[int, int, int], Envelope]]
+        ] = {}
+        self._flight_seq = 0
 
     # -- binding -----------------------------------------------------------
 
@@ -210,6 +298,7 @@ class FastEngine:
             )
         self._bound = True
         self._n = simulation.n
+        self._link = simulation.link
         self._faulty_set = simulation.faulty_ids
         self._faulty = tuple(sorted(simulation.faulty_ids))
         self._outboxes = {
@@ -254,6 +343,15 @@ class FastEngine:
     # -- beat execution ----------------------------------------------------
 
     def execute_beat(self, simulation: "Simulation", beat: int) -> None:
+        # The fan-out-sharing path runs under perfect links — and on any
+        # beat the link model certifies as unaffected (e.g. a healed
+        # partition) while nothing is in flight.
+        if not (
+            self._link.is_perfect
+            or (not self._in_flight and self._link.perfect_at(beat))
+        ):
+            self._execute_linked_beat(simulation, beat)
+            return
         n = self._n
         nodes = simulation.nodes
         stats = self.stats
@@ -367,6 +465,119 @@ class FastEngine:
                 if len(merged) > 1:
                     merged.sort(key=lambda item: item[0])
                 inbox[path] = [envelope for _, envelope in merged]
+            node.update_phase(beat, inbox)
+
+    # -- linked beat execution ---------------------------------------------
+
+    def _execute_linked_beat(self, simulation: "Simulation", beat: int) -> None:
+        """One beat under a non-trivial link model.
+
+        Fan-out sharing is off here: a lossy or delaying link makes
+        per-receiver inboxes genuinely diverge, so every copy is expanded
+        and classified individually — exactly what the reference engine
+        does, which keeps the engines differentially equivalent under any
+        link model (link decisions are keyed randomness, so classification
+        *order* cannot skew them).
+        """
+        n = self._n
+        nodes = simulation.nodes
+        stats = self.stats
+        link = self._link
+        faulty_set = self._faulty_set
+        adversary_active = simulation.adversary is not None and bool(self._faulty)
+        # extras[receiver][path] = [((sender, stage, seq), envelope), ...]
+        extras: dict[int, dict[str, list[tuple[tuple[int, int, int], Envelope]]]] = {}
+        visible: list[Envelope] = []
+
+        def dispatch(envelope: Envelope, key: tuple[int, int, int]) -> None:
+            receiver = envelope.receiver
+            if receiver not in nodes:
+                return  # dead letter (faulty receiver): adversary view only
+            if envelope.sender == receiver:
+                delay = 0  # loopback is always perfect
+            else:
+                delay = link.classify(envelope.sender, receiver, beat)
+            if delay is None:
+                stats.record_dropped(envelope)
+                return
+            if delay:
+                stats.record_delayed(envelope)
+                self._flight_seq += 1
+                self._in_flight.setdefault(beat + delay, []).append(
+                    (
+                        receiver,
+                        envelope.path,
+                        (envelope.sender, self._STAGE_DELAYED, self._flight_seq),
+                        envelope,
+                    )
+                )
+                return
+            extras.setdefault(receiver, {}).setdefault(
+                envelope.path, []
+            ).append((key, envelope))
+
+        # -- send phase ----------------------------------------------------
+        for node_id, node in nodes.items():
+            records = node.send_phase(beat, self._outboxes[node_id])
+            for seq, (path, payload, receiver) in enumerate(records):
+                if receiver is None:  # full broadcast: expand per receiver
+                    stats.record_fanout(path, beat, n, honest=True)
+                    key = (node_id, self._STAGE_REGULAR, seq)
+                    for target in range(n):
+                        envelope = Envelope(node_id, target, path, payload, beat)
+                        if adversary_active and target in faulty_set:
+                            visible.append(envelope)
+                        dispatch(envelope, key)
+                else:
+                    envelope = Envelope(node_id, receiver, path, payload, beat)
+                    stats.record(envelope, honest=True)
+                    if adversary_active and receiver in faulty_set:
+                        visible.append(envelope)
+                    dispatch(envelope, (node_id, self._STAGE_REGULAR, seq))
+
+        # -- adversary phase ----------------------------------------------
+        if adversary_active:
+            for seq, envelope in enumerate(
+                _craft_byzantine(simulation, beat, visible)
+            ):
+                stats.record(envelope, honest=False)
+                dispatch(envelope, (envelope.sender, self._STAGE_REGULAR, seq))
+
+        # -- delayed arrivals now due -------------------------------------
+        for receiver, path, key, envelope in self._in_flight.pop(beat, ()):
+            extras.setdefault(receiver, {}).setdefault(path, []).append(
+                (key, envelope)
+            )
+
+        # -- phantom delivery ---------------------------------------------
+        if self._pending_phantoms:
+            phantoms, self._pending_phantoms = self._pending_phantoms, []
+            for seq, envelope in enumerate(phantoms):
+                stats.record(envelope, honest=False)
+                if envelope.receiver in nodes:
+                    extras.setdefault(envelope.receiver, {}).setdefault(
+                        envelope.path, []
+                    ).append(
+                        ((envelope.sender, self._STAGE_PHANTOM, seq), envelope)
+                    )
+
+        # -- delivery + update phase --------------------------------------
+        empty_inbox = self._shared_inbox
+        empty_inbox.clear()
+        for node_id, node in nodes.items():
+            node_extras = extras.get(node_id)
+            if node_extras is None:
+                node.update_phase(beat, empty_inbox)
+                continue
+            inbox = self._merge_inboxes.get(node_id)
+            if inbox is None:
+                inbox = self._merge_inboxes[node_id] = {}
+            else:
+                inbox.clear()
+            for path, entries in node_extras.items():
+                if len(entries) > 1:
+                    entries.sort(key=lambda item: item[0])
+                inbox[path] = [envelope for _, envelope in entries]
             node.update_phase(beat, inbox)
 
 

@@ -1,0 +1,445 @@
+"""Link-condition models: what the network does to each message.
+
+The paper's global-beat-system assumes a *non-faulty network* (Definition
+2.2): every message sent at beat ``r`` is delivered, untampered, within
+beat ``r``.  The follow-on literature — Hoch, Ben-Or & Dolev's
+*fault-resistant asynchronous clock function* and the bounded-delay /
+message-adversary resynchronization line — lives just beyond that
+assumption.  This module is the seam that lets every scenario in the repo
+cross it: a :class:`LinkModel` sits between the send phase and the
+engine's delivery phase and rules on each honest or Byzantine envelope
+individually — deliver now, deliver ``d`` beats late, or drop.
+
+Four models ship:
+
+* :class:`PerfectLinks` — Definition 2.2 verbatim.  It is *provably* a
+  no-op: engines check :attr:`LinkModel.is_perfect` and run their original
+  delivery path untouched, so perfect-link runs are bit-identical to the
+  pre-link-layer behavior (``tests/test_linkmodel.py`` enforces this
+  differentially, and additionally proves the *linked* machinery itself is
+  an identity when the delay bound is zero).
+* :class:`BoundedDelayLinks` — each envelope is delayed a pseudo-random
+  0..``max_delay`` beats and links stay FIFO: per (sender, receiver) pair,
+  messages are never reordered (a later send may not overtake an earlier
+  one).
+* :class:`LossyLinks` — omission faults: i.i.d. per-envelope loss plus an
+  optional Gilbert–Elliott burst regime in which a link flips between a
+  good state and a bad state that drops everything.
+* :class:`PartitionLinks` — a scheduled split of the node set: traffic
+  crossing the cut is dropped during the partition window, the window may
+  repeat periodically, and the network heals afterwards.
+
+Determinism contract
+--------------------
+
+Link decisions must be reproducible across engines, worker counts and
+object identities, yet the two engines classify a beat's envelopes in
+different global orders (the fast engine expands broadcast fan-outs
+lazily).  Models therefore draw *keyed* randomness instead of consuming a
+sequential stream: every random choice hashes ``(link seed, sender,
+receiver, per-link emission counter, label)`` through
+:func:`~repro.net.rng.derive_seed`.  The emission counter (and any other
+mutable state: FIFO clamps, burst regimes) is keyed per directed link
+``(sender, receiver)``, and engines guarantee that envelopes of one
+directed link are classified in emission order — so per-envelope draws
+are independent *and* identical whichever engine executes the run,
+whatever global order it classifies envelopes in.
+
+Scope: link conditions apply to traffic *between distinct correct nodes*
+(and Byzantine traffic addressed to correct nodes).  Self-delivery
+(``sender == receiver``) is a node's loopback and is always perfect;
+messages addressed to faulty nodes only feed the adversary's view, which
+models a message adversary that cannot blind the Byzantine coalition; and
+phantom messages bypass the link layer entirely — they *are* network
+incoherence, injected directly into delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.rng import derive_seed
+
+__all__ = [
+    "DEFAULT_LINK",
+    "LINK_MODELS",
+    "BoundedDelayLinks",
+    "LinkModel",
+    "LossyLinks",
+    "PartitionLinks",
+    "PerfectLinks",
+    "make_link",
+    "normalize_link_params",
+    "resolve_link",
+]
+
+#: Scale factor turning a 64-bit :func:`derive_seed` digest into [0, 1).
+_UNIFORM_SCALE = float(2**64)
+
+
+class LinkModel:
+    """Base class: per-envelope delivery policy for one simulation.
+
+    Subclasses implement :meth:`classify`.  A model instance is single-use:
+    :meth:`bind` couples it to one simulation's size and seed (called by
+    ``Simulation.__init__``) and per-run state must not leak across runs —
+    pass the model *name* (plus parameters) to reuse a configuration.
+    """
+
+    name = "abstract"
+
+    #: True only for :class:`PerfectLinks`; engines bypass the link layer
+    #: (and its in-flight queue) entirely when set, which is what makes the
+    #: perfect model a provable no-op.
+    is_perfect = False
+
+    #: Upper bound on beats any envelope may spend in flight.  Zero for
+    #: models that only drop; engines may use it for queue sizing.
+    max_delay = 0
+
+    def __init__(self) -> None:
+        self._n: int | None = None
+        self._seed = 0
+        #: Per directed link: envelopes classified so far.  Engines call
+        #: :meth:`classify` in emission order per link, so this counter is
+        #: an engine-independent per-envelope discriminator for keyed
+        #: draws (two messages on one link in one beat draw independently).
+        self._emitted: dict[tuple[int, int], int] = {}
+
+    def bind(self, n: int, seed: int) -> None:
+        """Couple this model to one simulation before the first beat."""
+        if self._n is not None:
+            raise ConfigurationError(
+                "link model instances are single-use; pass the link *name* "
+                "to reuse a configuration across simulations"
+            )
+        if n < 1:
+            raise ConfigurationError(f"need at least one node, got n={n}")
+        self._n = n
+        self._seed = seed
+
+    def classify(self, sender: int, receiver: int, beat: int) -> int | None:
+        """Rule on one envelope: ``None`` drops it, ``d >= 0`` delivers it
+        at beat ``beat + d`` (0 = the paper's same-beat delivery).
+
+        Engines call this once per (envelope, correct receiver), in
+        emission order per directed link; decisions must depend only on
+        ``(seed, beat, sender, receiver)`` and per-link state built from
+        earlier calls on the *same* directed link (see the module
+        docstring's determinism contract).
+        """
+        raise NotImplementedError
+
+    def perfect_at(self, beat: int) -> bool:
+        """True when this beat provably cannot be affected — the engine
+        may then run its perfect-path delivery for the whole beat,
+        skipping :meth:`classify` entirely (provided its in-flight queue
+        is empty).
+
+        Only legal when classifying this beat would be state-free and
+        return 0 for every pair; models with per-link mutable state
+        (emission counters, FIFO frontiers, burst regimes) must keep the
+        default ``False`` or the skipped calls would desynchronize state.
+        """
+        return self.is_perfect
+
+    # -- keyed randomness --------------------------------------------------
+
+    def _link_seq(self, sender: int, receiver: int) -> int:
+        """Bump and return the directed link's emission counter."""
+        link = (sender, receiver)
+        seq = self._emitted.get(link, 0)
+        self._emitted[link] = seq + 1
+        return seq
+
+    def _uniform(self, *labels: object) -> float:
+        """A [0, 1) draw keyed by the link seed and ``labels``."""
+        return derive_seed(self._seed, self.name, *labels) / _UNIFORM_SCALE
+
+    def _randrange(self, bound: int, *labels: object) -> int:
+        """A {0, .., bound-1} draw keyed by the link seed and ``labels``."""
+        return derive_seed(self._seed, self.name, *labels) % bound
+
+    def describe(self) -> str:
+        """Human-readable parameterization for labels and tables."""
+        return self.name
+
+
+class PerfectLinks(LinkModel):
+    """Definition 2.2 exactly: every message arrives within its beat."""
+
+    name = "perfect"
+    is_perfect = True
+
+    def classify(self, sender: int, receiver: int, beat: int) -> int | None:
+        return 0
+
+
+class BoundedDelayLinks(LinkModel):
+    """Seeded bounded delay: each envelope arrives 0..``max_delay`` beats
+    after it was sent, and each directed link delivers in FIFO order.
+
+    The FIFO clamp mirrors real bounded-delay channels: an envelope's raw
+    delay draw is pushed forward to at least the delivery beat of the
+    previous envelope on the same (sender, receiver) link, so a later send
+    never overtakes an earlier one.  The clamp cannot breach the bound —
+    the previous delivery beat is itself at most ``previous_beat +
+    max_delay < beat + max_delay``.
+    """
+
+    name = "delay"
+
+    def __init__(self, max_delay: int = 1) -> None:
+        super().__init__()
+        if max_delay < 0:
+            raise ConfigurationError(
+                f"max_delay must be non-negative, got {max_delay}"
+            )
+        self.max_delay = int(max_delay)
+        #: Per directed link: delivery beat of the last classified envelope.
+        self._frontier: dict[tuple[int, int], int] = {}
+
+    def classify(self, sender: int, receiver: int, beat: int) -> int | None:
+        if self.max_delay == 0:
+            return 0
+        seq = self._link_seq(sender, receiver)
+        delay = self._randrange(self.max_delay + 1, sender, receiver, seq)
+        link = (sender, receiver)
+        due = max(beat + delay, self._frontier.get(link, 0))
+        self._frontier[link] = due
+        return due - beat
+
+    def describe(self) -> str:
+        return f"delay(d={self.max_delay})"
+
+
+class LossyLinks(LinkModel):
+    """Omission faults: i.i.d. loss plus optional Gilbert–Elliott bursts.
+
+    Args:
+        loss: probability that any single envelope is dropped,
+            independently (0 disables).
+        burst_enter: per-beat probability that a good link enters a burst
+            (bad) state in which it drops *every* envelope (0 disables the
+            burst regime entirely).
+        burst_exit: per-beat probability that a bursting link heals.
+
+    Burst state is per directed link and advances lazily: the state at
+    beat ``b`` is a pure function of the keyed per-beat transition draws,
+    so it does not depend on whether (or in which order) the link carried
+    traffic — the determinism contract holds by construction.
+    """
+
+    name = "lossy"
+
+    def __init__(
+        self,
+        loss: float = 0.1,
+        burst_enter: float = 0.0,
+        burst_exit: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= loss <= 1.0:
+            raise ConfigurationError(f"loss must be in [0, 1], got {loss}")
+        if not 0.0 <= burst_enter <= 1.0:
+            raise ConfigurationError(
+                f"burst_enter must be in [0, 1], got {burst_enter}"
+            )
+        if not 0.0 < burst_exit <= 1.0:
+            raise ConfigurationError(
+                f"burst_exit must be in (0, 1], got {burst_exit}"
+            )
+        self.loss = float(loss)
+        self.burst_enter = float(burst_enter)
+        self.burst_exit = float(burst_exit)
+        #: Per directed link: (in_burst, last_advanced_beat).
+        self._burst: dict[tuple[int, int], tuple[bool, int]] = {}
+
+    def _bursting(self, sender: int, receiver: int, beat: int) -> bool:
+        link = (sender, receiver)
+        bad, last = self._burst.get(link, (False, -1))
+        for step in range(last + 1, beat + 1):
+            draw = self._uniform(step, sender, receiver, "burst")
+            if bad:
+                bad = draw >= self.burst_exit
+            else:
+                bad = draw < self.burst_enter
+        self._burst[link] = (bad, beat)
+        return bad
+
+    def classify(self, sender: int, receiver: int, beat: int) -> int | None:
+        seq = self._link_seq(sender, receiver)
+        if self.burst_enter and self._bursting(sender, receiver, beat):
+            return None
+        if (
+            self.loss
+            and self._uniform(sender, receiver, seq, "loss") < self.loss
+        ):
+            return None
+        return 0
+
+    def describe(self) -> str:
+        if self.burst_enter:
+            return (
+                f"lossy(p={self.loss:g},burst={self.burst_enter:g}"
+                f"/{self.burst_exit:g})"
+            )
+        return f"lossy(p={self.loss:g})"
+
+
+class PartitionLinks(LinkModel):
+    """Scheduled split/heal of the node set.
+
+    During a partition window, traffic crossing the cut is dropped;
+    intra-group traffic (and everything outside the window) is perfect.
+
+    Args:
+        split: first beat of the partition window.
+        heal: first beat *after* the window (``None`` = never heals).
+        fraction: size of group 0 as a fraction of ``n`` when ``groups``
+            is not given — nodes ``0 .. ceil(fraction*n)-1`` form one side.
+        period: if set, the window repeats: the link is partitioned
+            whenever ``split <= beat % period < heal`` (an oscillating
+            split/heal schedule).
+        groups: explicit partition of the node ids (iterable of iterables);
+            overrides ``fraction``.  Ids absent from every group form one
+            implicit final group.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        split: int = 0,
+        heal: int | None = 20,
+        fraction: float = 0.5,
+        period: int | None = None,
+        groups: Iterable[Iterable[int]] | None = None,
+    ) -> None:
+        super().__init__()
+        if split < 0:
+            raise ConfigurationError(f"split must be non-negative, got {split}")
+        if heal is not None and heal <= split:
+            raise ConfigurationError(
+                f"heal beat {heal} must come after split beat {split}"
+            )
+        if not 0.0 < fraction < 1.0 and groups is None:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1), got {fraction}"
+            )
+        if period is not None:
+            if heal is None:
+                raise ConfigurationError("a periodic partition needs a heal beat")
+            if period < heal:
+                raise ConfigurationError(
+                    f"period {period} must cover the window [split, heal)="
+                    f"[{split}, {heal})"
+                )
+        self.split = int(split)
+        self.heal = None if heal is None else int(heal)
+        self.fraction = float(fraction)
+        self.period = None if period is None else int(period)
+        self._explicit_groups = (
+            None if groups is None else tuple(tuple(group) for group in groups)
+        )
+        self._group_of: dict[int, int] = {}
+
+    def bind(self, n: int, seed: int) -> None:
+        super().bind(n, seed)
+        if self._explicit_groups is not None:
+            for index, group in enumerate(self._explicit_groups):
+                for node_id in group:
+                    if not 0 <= node_id < n:
+                        raise ConfigurationError(
+                            f"partition group names unknown node id {node_id}"
+                        )
+                    if node_id in self._group_of:
+                        raise ConfigurationError(
+                            f"node id {node_id} appears in two partition groups"
+                        )
+                    self._group_of[node_id] = index
+            leftover = len(self._explicit_groups)
+            for node_id in range(n):
+                self._group_of.setdefault(node_id, leftover)
+        else:
+            boundary = max(1, min(n - 1, round(self.fraction * n)))
+            for node_id in range(n):
+                self._group_of[node_id] = 0 if node_id < boundary else 1
+
+    def partitioned_at(self, beat: int) -> bool:
+        """True when the partition window covers ``beat``."""
+        if self.period is not None:
+            beat = beat % self.period
+        if beat < self.split:
+            return False
+        return self.heal is None or beat < self.heal
+
+    def perfect_at(self, beat: int) -> bool:
+        # Partition decisions are pure functions of the schedule (no
+        # draws, no per-link state), so outside the window the engine may
+        # safely run its perfect path — a healed partition costs nothing.
+        return not self.partitioned_at(beat)
+
+    def classify(self, sender: int, receiver: int, beat: int) -> int | None:
+        if not self.partitioned_at(beat):
+            return 0
+        if self._group_of[sender] == self._group_of[receiver]:
+            return 0
+        return None
+
+    def describe(self) -> str:
+        heal = "∞" if self.heal is None else self.heal
+        window = f"[{self.split},{heal})"
+        if self.period is not None:
+            window += f"%{self.period}"
+        return f"partition({window})"
+
+
+#: Link model registry: name -> class.  Names are shared with the CLI's
+#: ``--link`` flags and :class:`~repro.analysis.campaign.ScenarioSpec`.
+LINK_MODELS: dict[str, type[LinkModel]] = {
+    PerfectLinks.name: PerfectLinks,
+    BoundedDelayLinks.name: BoundedDelayLinks,
+    LossyLinks.name: LossyLinks,
+    PartitionLinks.name: PartitionLinks,
+}
+
+#: The default link model: the paper's non-faulty network.
+DEFAULT_LINK = PerfectLinks.name
+
+
+def make_link(name: str, params: Mapping[str, object] | None = None) -> LinkModel:
+    """Build a link model from its registry name and keyword parameters."""
+    factory = LINK_MODELS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown link model {name!r}; known models: {sorted(LINK_MODELS)}"
+        )
+    try:
+        return factory(**dict(params or {}))
+    except TypeError as error:
+        raise ConfigurationError(
+            f"bad parameters for link model {name!r}: {error}"
+        ) from None
+
+
+def resolve_link(link: "str | LinkModel") -> LinkModel:
+    """Turn a link-model name or instance into a bindable model object."""
+    if isinstance(link, str):
+        return make_link(link)
+    if isinstance(link, LinkModel):
+        return link
+    raise ConfigurationError(
+        f"link must be a name or a LinkModel instance, got {link!r}"
+    )
+
+
+def normalize_link_params(
+    params: "Mapping[str, object] | Sequence[tuple[str, object]] | None",
+) -> tuple[tuple[str, object], ...]:
+    """Canonicalize link parameters into a hashable, picklable tuple."""
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(key), value) for key, value in items))

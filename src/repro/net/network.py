@@ -42,13 +42,25 @@ def ensure_faulty_senders(
 
 @dataclass
 class MessageStats:
-    """Running totals of network traffic, for message-complexity benches."""
+    """Running totals of network traffic, for message-complexity benches.
+
+    ``total_messages`` counts *sent* copies (keyed to the send beat in
+    ``per_beat``), exactly as under a perfect network; link conditions
+    (:mod:`repro.net.linkmodel`) additionally account their casualties in
+    ``dropped_messages`` and ``delayed_messages``, so
+    :attr:`delivered_messages` reports what actually reached an inbox.
+    Both stay zero under perfect links, keeping perfect-link stats
+    bit-identical to pre-link-layer runs.
+    """
 
     total_messages: int = 0
     honest_messages: int = 0
     byzantine_messages: int = 0
+    dropped_messages: int = 0
+    delayed_messages: int = 0
     per_beat: Counter = field(default_factory=Counter)
     per_path_prefix: Counter = field(default_factory=Counter)
+    dropped_per_beat: Counter = field(default_factory=Counter)
     # Paths repeat every beat; splitting them each time churns strings, so
     # the two-level prefix is computed once per distinct path.
     _prefix_cache: dict = field(default_factory=dict, repr=False, compare=False)
@@ -82,6 +94,20 @@ class MessageStats:
         self.per_beat[beat] += count
         self.per_path_prefix[self.prefix_of(path)] += count
 
+    def record_dropped(self, envelope: Envelope) -> None:
+        """Account one envelope the link model refused to deliver."""
+        self.dropped_messages += 1
+        self.dropped_per_beat[envelope.beat] += 1
+
+    def record_delayed(self, envelope: Envelope) -> None:
+        """Account one envelope deferred past its send beat."""
+        self.delayed_messages += 1
+
+    @property
+    def delivered_messages(self) -> int:
+        """Sent copies that were (or will be) delivered to an inbox."""
+        return self.total_messages - self.dropped_messages
+
     def messages_at_beat(self, beat: int) -> int:
         return self.per_beat.get(beat, 0)
 
@@ -111,6 +137,11 @@ class Router:
         """
         self._pending_phantoms.extend(envelopes)
 
+    def drain_phantoms(self) -> list[Envelope]:
+        """Return and clear the queued phantom burst."""
+        phantoms, self._pending_phantoms = self._pending_phantoms, []
+        return phantoms
+
     def validate_byzantine(self, envelopes: list[Envelope]) -> list[Envelope]:
         """Drop adversary envelopes that forge an honest sender identity.
 
@@ -135,7 +166,7 @@ class Router:
         delivered: dict[int, dict[str, list[Envelope]]] = defaultdict(
             lambda: defaultdict(list)
         )
-        phantoms, self._pending_phantoms = self._pending_phantoms, []
+        phantoms = self.drain_phantoms()
         for envelope in honest_envelopes:
             self.stats.record(envelope, honest=True)
             self._deliver(delivered, envelope)

@@ -10,12 +10,16 @@ and advances them beat by beat:
 3. **adversary phase** — the (rushing) adversary inspects every message
    addressed to a faulty node, plus the current beat's coin (§6.1), and
    crafts the faulty nodes' messages;
-4. **delivery** — the engine validates sender identities and routes all of
-   the beat's traffic (plus any queued phantom messages) into per-node,
-   per-component inboxes;
-5. **update phase** — every correct node consumes its inboxes and the coin
+4. **link conditions** — the configured :mod:`~repro.net.linkmodel` rules
+   on every envelope bound for a correct node: deliver now, deliver a few
+   beats late (via the engine's in-flight queue), or drop (the default
+   perfect network delivers everything and is a provable no-op);
+5. **delivery** — the engine validates sender identities and routes the
+   beat's surviving traffic, any delayed envelopes now due, and any queued
+   phantom messages into per-node, per-component inboxes;
+6. **update phase** — every correct node consumes its inboxes and the coin
    output and updates state;
-6. **monitors** — observers (convergence detectors, tracers) run.
+7. **monitors** — observers (convergence detectors, tracers) run.
 
 Transient faults are injected between beats with :meth:`Simulation.scramble`,
 which redraws node state from the declared variable domains — the paper's
@@ -32,6 +36,7 @@ from repro.errors import ConfigurationError, check_resilience
 from repro.net.component import Component
 from repro.net.engine import DEFAULT_ENGINE, Engine, resolve_engine
 from repro.net.environment import Environment
+from repro.net.linkmodel import DEFAULT_LINK, LinkModel, resolve_link
 from repro.net.message import Envelope
 from repro.net.node import Node
 from repro.net.rng import SeedSequence
@@ -68,6 +73,13 @@ class Simulation:
             ``"reference"``) or a fresh :class:`~repro.net.engine.Engine`
             instance.  Both engines produce bit-identical runs; the fast
             one shares broadcast fan-outs instead of copying envelopes.
+        link: link-condition model — a name from
+            :data:`~repro.net.linkmodel.LINK_MODELS` (``"perfect"``,
+            ``"delay"``, ``"lossy"``, ``"partition"``) or a fresh
+            :class:`~repro.net.linkmodel.LinkModel` instance.  The default
+            perfect network is the paper's Definition 2.2 and is a
+            provable no-op; other models delay or drop individual
+            envelopes between the send and delivery phases.
     """
 
     def __init__(
@@ -81,6 +93,7 @@ class Simulation:
         root_path: str = "root",
         enforce_resilience: bool = True,
         engine: "str | Engine" = DEFAULT_ENGINE,
+        link: "str | LinkModel" = DEFAULT_LINK,
     ) -> None:
         if enforce_resilience:
             check_resilience(n, f)
@@ -120,6 +133,8 @@ class Simulation:
             )
             for i in self.honest_ids
         }
+        self.link = resolve_link(link)
+        self.link.bind(n, self.seeds.seed_for("link"))
         self.engine = resolve_engine(engine)
         self.engine.bind(self)
         self.beat = 0
@@ -151,13 +166,25 @@ class Simulation:
         """Transient fault: redraw state of the given correct nodes.
 
         Defaults to scrambling *every* correct node — the hardest starting
-        point for a self-stabilizing protocol.
+        point for a self-stabilizing protocol.  Ids outside the honest set
+        (faulty or simply unknown) raise :class:`ConfigurationError`:
+        faulty nodes have no state to scramble (the adversary speaks for
+        them), and silently skipping a typo would make a fault schedule
+        look stronger than it ran.
         """
-        targets = self.honest_ids if node_ids is None else list(node_ids)
+        if node_ids is None:
+            targets = self.honest_ids
+        else:
+            targets = list(node_ids)
+            unknown = sorted(i for i in targets if i not in self.nodes)
+            if unknown:
+                raise ConfigurationError(
+                    f"cannot scramble node ids {unknown}: not in the honest "
+                    f"set {self.honest_ids} (faulty nodes have no state — "
+                    "the adversary speaks for them)"
+                )
         for node_id in targets:
-            node = self.nodes.get(node_id)
-            if node is not None:
-                node.scramble(self._fault_rng)
+            self.nodes[node_id].scramble(self._fault_rng)
 
     def inject_phantoms(self, envelopes: list[Envelope]) -> None:
         """Queue phantom messages for the next beat's delivery."""

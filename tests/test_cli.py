@@ -53,6 +53,90 @@ class TestDemo:
         assert first == second
 
 
+class TestLinkFlags:
+    def test_run_alias_with_lossy_link(self, capsys):
+        code = main(
+            ["run", "--n", "4", "--f", "1", "--k", "8", "--seed", "1",
+             "--link", "lossy", "--link-param", "loss=0.1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "link=lossy" in out
+        assert "dropped" in out
+
+    def test_run_perfect_link_matches_demo(self, capsys):
+        main(["demo", "--n", "4", "--f", "1", "--k", "10", "--seed", "7"])
+        demo = capsys.readouterr().out
+        main(["run", "--n", "4", "--f", "1", "--k", "10", "--seed", "7",
+              "--link", "perfect"])
+        run = capsys.readouterr().out
+        assert demo == run
+
+    def test_links_listing(self, capsys):
+        code = main(["links"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("perfect", "delay", "lossy", "partition"):
+            assert name in out
+
+    def test_bad_link_param_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--link", "lossy", "--link-param", "loss"])
+        with pytest.raises(SystemExit):
+            main(["run", "--link", "lossy", "--link-param", "loss=high"])
+
+    def test_out_of_range_link_param_clean_exit(self, capsys):
+        """A well-formed but invalid value exits 2, not a traceback."""
+        code = main(
+            ["run", "--n", "4", "--f", "1", "--k", "8",
+             "--link", "lossy", "--link-param", "loss=2.0"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "loss" in err
+
+    def test_nonconvergence_message_keeps_separator(self, capsys):
+        code = main(
+            ["run", "--n", "4", "--f", "1", "--k", "8", "--seed", "1",
+             "--beats", "6", "--link", "lossy", "--link-param", "loss=0.4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "beats, " in out and "dropped" in out
+
+    def test_campaign_params_routed_per_model(self, capsys):
+        """One --link-param pool parameterizes every model on the axis."""
+        code = main(
+            ["campaign", "--n", "4", "--k", "6", "--seeds", "1",
+             "--beats", "40", "--workers", "1",
+             "--link", "delay", "lossy",
+             "--link-param", "max_delay=1", "--link-param", "loss=0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delay(d=1)" in out and "lossy(p=0.05)" in out
+
+    def test_campaign_link_axis(self, capsys):
+        code = main(
+            ["campaign", "--n", "4", "--k", "6", "--seeds", "1",
+             "--beats", "60", "--workers", "1",
+             "--link", "perfect", "lossy", "--link-param", "loss=0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 scenarios x 1 seeds" in out
+        assert "lossy(p=0.05)" in out
+
+    def test_campaign_bad_link_params_exit_code(self, capsys):
+        code = main(
+            ["campaign", "--n", "4", "--seeds", "1", "--workers", "1",
+             "--link", "delay", "--link-param", "warp=2"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "delay" in err
+
+
 class TestOtherCommands:
     def test_table1(self, capsys):
         code = main(

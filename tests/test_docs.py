@@ -1,0 +1,37 @@
+"""Documentation health: snippets execute, links resolve (tier-1 copy).
+
+The CI docs job runs ``tools/check_docs.py`` standalone; running the same
+checks here keeps them enforced by the local tier-1 suite too, so a
+README edit cannot rot between pushes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def test_markdown_discovered():
+    names = {path.name for path in check_docs.markdown_files()}
+    assert {"README.md", "ARCHITECTURE.md", "protocol.md"} <= names
+
+
+def test_readme_has_executable_snippets():
+    blocks = check_docs.python_blocks(REPO_ROOT / "README.md")
+    assert len(blocks) >= 2, "README quickstart must show runnable Python"
+
+
+def test_relative_links_resolve():
+    assert check_docs.check_links(check_docs.markdown_files()) == []
+
+
+def test_python_snippets_execute():
+    assert check_docs.check_snippets(check_docs.markdown_files()) == []

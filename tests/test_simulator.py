@@ -117,6 +117,40 @@ class TestBeatLoop:
         assert set(sim.nodes) == {0, 1, 2}
 
 
+class TestScrambleValidation:
+    """Unknown or faulty node ids in a scramble are configuration errors."""
+
+    def test_unknown_ids_rejected(self):
+        sim = Simulation(4, 1, lambda i: EchoClock())
+        with pytest.raises(ConfigurationError, match=r"\[99\]"):
+            sim.scramble([99])
+
+    def test_faulty_ids_rejected(self):
+        sim = Simulation(4, 1, lambda i: EchoClock(), adversary=Adversary())
+        (faulty_id,) = sim.faulty_ids
+        with pytest.raises(ConfigurationError, match="honest"):
+            sim.scramble([faulty_id])
+
+    def test_mixed_subset_rejected_atomically(self):
+        """A bad id aborts the whole scramble — no partial fault injection."""
+        sim = Simulation(4, 1, lambda i: EchoClock(), seed=5)
+        before = {i: node.root.value for i, node in sim.nodes.items()}
+        with pytest.raises(ConfigurationError):
+            sim.scramble([0, 1, 42])
+        after = {i: node.root.value for i, node in sim.nodes.items()}
+        assert before == after
+
+    def test_honest_subset_still_scrambles(self):
+        sim = Simulation(4, 1, lambda i: EchoClock(), seed=5)
+        sim.run(3)
+        sim.scramble([0, 2])
+        assert sim.beat == 3  # sanity: scramble does not advance beats
+
+    def test_default_scramble_unaffected(self):
+        sim = Simulation(4, 1, lambda i: EchoClock(), adversary=Adversary())
+        sim.scramble()  # all-correct default never raises
+
+
 class TestDeterminism:
     def _history(self, seed):
         sim = Simulation(4, 1, lambda i: EchoClock(), seed=seed)

@@ -1,0 +1,113 @@
+"""Documentation checker: snippets must run, relative links must resolve.
+
+Two checks over every Markdown file in the repository (README.md, docs/,
+ARCHITECTURE.md, ...):
+
+* **Snippet execution** — every fenced code block tagged ``python`` is
+  executed in a fresh namespace (with ``src/`` importable).  Blocks
+  tagged anything else (``bash``, ``text``, ``pycon``, untagged) are
+  skipped, so shell quickstarts and pseudocode stay illustrative while
+  Python examples are guaranteed to keep working.
+* **Link resolution** — every relative Markdown link target
+  (``[text](path)``) must exist on disk, resolved against the linking
+  file's directory.  External (``http(s)://``, ``mailto:``) and
+  pure-anchor (``#section``) links are ignored; a ``path#anchor``
+  target is checked for the path only.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit code 0 when docs are healthy; 1 with a per-failure report otherwise.
+``tests/test_docs.py`` runs the same checks inside the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Directories never scanned for Markdown.
+EXCLUDED_DIRS = {".git", ".pytest_cache", "__pycache__", ".hypothesis"}
+
+_FENCE = re.compile(
+    r"^```(?P<tag>[^\n`]*)\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+# Inline markdown links [text](target); images ![alt](target) match too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files(root: pathlib.Path = REPO_ROOT) -> list[pathlib.Path]:
+    """Every tracked-ish Markdown file under ``root``."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not EXCLUDED_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def python_blocks(path: pathlib.Path) -> list[tuple[int, str]]:
+    """(line number, source) for every ``python``-tagged fenced block."""
+    text = path.read_text(encoding="utf-8")
+    blocks = []
+    for match in _FENCE.finditer(text):
+        if match.group("tag").strip() == "python":
+            line = text.count("\n", 0, match.start()) + 2
+            blocks.append((line, match.group("body")))
+    return blocks
+
+
+def check_snippets(paths: list[pathlib.Path]) -> list[str]:
+    """Execute every Python snippet; return failure descriptions."""
+    failures = []
+    for path in paths:
+        for line, source in python_blocks(path):
+            label = f"{path.relative_to(REPO_ROOT)}:{line}"
+            try:
+                exec(compile(source, label, "exec"), {"__name__": "__docs__"})
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                failures.append(f"{label}: snippet raised {error!r}")
+    return failures
+
+
+def relative_links(path: pathlib.Path) -> list[str]:
+    """Relative link targets in one file (anchors stripped)."""
+    targets = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return targets
+
+
+def check_links(paths: list[pathlib.Path]) -> list[str]:
+    """Verify every relative link resolves; return failure descriptions."""
+    failures = []
+    for path in paths:
+        for target in relative_links(path):
+            if not (path.parent / target).exists():
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return failures
+
+
+def main() -> int:
+    paths = markdown_files()
+    failures = check_links(paths) + check_snippets(paths)
+    snippet_count = sum(len(python_blocks(path)) for path in paths)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(
+        f"checked {len(paths)} markdown files, {snippet_count} python "
+        f"snippets: {'FAILED' if failures else 'ok'}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
