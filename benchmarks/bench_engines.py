@@ -1,168 +1,30 @@
 """Engine micro-benchmark: beats/sec of ReferenceEngine vs FastEngine.
 
-Times the full ss-Byz-Clock-Sync stack (k=8, oracle coin, scrambled start,
-fault-free) on both engines across n ∈ {4, 16, 64} and reports beats/sec.
-Emits ``benchmarks/results/engines.json`` alongside the human-readable
-``engines.txt`` block, so regression tooling can diff raw numbers.
+Thin pytest shim over the ``engines`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/engines.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-Run standalone (no pytest needed)::
+Registry equivalent::
 
-    PYTHONPATH=src python benchmarks/bench_engines.py          # full matrix
-    PYTHONPATH=src python benchmarks/bench_engines.py --smoke  # CI guard
-
-The smoke mode times 200 beats of ``SSByzClockSync(k=8)`` on both engines
-at one small size and exits non-zero if the fast engine regresses to more
-than 2x the reference engine's wall time.
+    PYTHONPATH=src python -m repro bench run --only engines
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
-import sys
-import time
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-#: (n, f, beats timed) — beat counts shrink with n to keep runtime bounded.
-SIZES = ((4, 1, 200), (16, 5, 50), (64, 21, 10))
+def test_engines(run_registered):
+    run_registered("engines")
 
 
-def _build_simulation(n: int, f: int, engine: str, seed: int = 0):
-    from repro.coin.oracle import OracleCoin
-    from repro.core.clock_sync import SSByzClockSync
-    from repro.net.simulator import Simulation
+if __name__ == "__main__":  # legacy standalone entry point (CI used to
+    # call this directly; ``--smoke`` maps to the smoke tier)
+    import sys
 
-    simulation = Simulation(
-        n,
-        f,
-        lambda i: SSByzClockSync(8, lambda: OracleCoin()),
-        seed=seed,
-        engine=engine,
-    )
-    simulation.scramble()
-    return simulation
+    from repro.cli import main
 
-
-def time_engine(
-    n: int, f: int, engine: str, beats: int, repeats: int = 3
-) -> float:
-    """Best-of-``repeats`` beats/sec for one engine at one system size."""
-    best = float("inf")
-    for _ in range(repeats):
-        simulation = _build_simulation(n, f, engine)
-        simulation.run(2)  # warm caches (path interning, inbox buffers)
-        started = time.perf_counter()
-        simulation.run(beats)
-        best = min(best, time.perf_counter() - started)
-    return beats / best
-
-
-def run_microbench(sizes=SIZES, repeats: int = 3) -> dict:
-    """Measure both engines across the size matrix; return a JSON record."""
-    rows = []
-    for n, f, beats in sizes:
-        reference = time_engine(n, f, "reference", beats, repeats)
-        fast = time_engine(n, f, "fast", beats, repeats)
-        rows.append(
-            {
-                "n": n,
-                "f": f,
-                "beats_timed": beats,
-                "reference_beats_per_sec": reference,
-                "fast_beats_per_sec": fast,
-                "speedup": fast / reference,
-            }
-        )
-    return {"protocol": "SSByzClockSync(k=8, oracle)", "results": rows}
-
-
-def _render(report: dict) -> str:
-    lines = [
-        f"{'system':<12} | {'reference b/s':>13} | {'fast b/s':>10} | speedup",
-        "-" * 54,
-    ]
-    for row in report["results"]:
-        lines.append(
-            f"n={row['n']:<3} f={row['f']:<3}  | "
-            f"{row['reference_beats_per_sec']:>13.1f} | "
-            f"{row['fast_beats_per_sec']:>10.1f} | "
-            f"{row['speedup']:.2f}x"
-        )
-    return "\n".join(lines)
-
-
-def _write_outputs(report: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "engines.json").write_text(
-        json.dumps(report, indent=2) + "\n", encoding="utf-8"
-    )
-    (RESULTS_DIR / "engines.txt").write_text(
-        _render(report) + "\n", encoding="utf-8"
-    )
-
-
-def smoke(beats: int = 200, n: int = 7, f: int = 2) -> int:
-    """CI guard: fast must not exceed 2x the reference engine's wall time."""
-    timings = {}
-    for engine in ("reference", "fast"):
-        simulation = _build_simulation(n, f, engine)
-        simulation.run(2)
-        started = time.perf_counter()
-        simulation.run(beats)
-        timings[engine] = time.perf_counter() - started
-    ratio = timings["fast"] / timings["reference"]
-    print(
-        f"smoke: {beats} beats at n={n}: reference {timings['reference']:.2f}s, "
-        f"fast {timings['fast']:.2f}s (fast/reference {ratio:.2f})"
-    )
-    if ratio > 2.0:
-        print("FAIL: fast engine regressed to >2x reference wall time")
-        return 1
-    print("ok")
-    return 0
-
-
-# -- pytest-benchmark entry point (same harness as the other benches) -----
-
-
-def test_fast_engine_speedup(once, record_result, benchmark):
-    """The fast engine must deliver ≥2x beats/sec at n=64."""
-    report = once(run_microbench)
-    record_result("engines", _render(report))
-    (RESULTS_DIR / "engines.json").write_text(
-        json.dumps(report, indent=2) + "\n", encoding="utf-8"
-    )
-    benchmark.extra_info["results"] = report["results"]
-
-    by_n = {row["n"]: row for row in report["results"]}
-    # The fast engine may never lose outright at any size...
-    for row in report["results"]:
-        assert row["speedup"] > 0.9, row
-    # ...and the Θ(n²)-copy elimination must pay off at scale.
-    assert by_n[64]["speedup"] >= 2.0, by_n[64]
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="200-beat two-engine regression guard (CI)",
-    )
-    parser.add_argument("--repeats", type=int, default=3)
-    args = parser.parse_args(argv)
-    if args.smoke:
-        return smoke()
-    report = run_microbench(repeats=args.repeats)
-    _write_outputs(report)
-    print(_render(report))
-    by_n = {row["n"]: row for row in report["results"]}
-    if by_n[64]["speedup"] < 2.0:
-        print("FAIL: fast engine below 2x at n=64")
-        return 1
-    return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())
+    args = ["bench", "run", "--only", "engines"]
+    if "--smoke" in sys.argv[1:]:
+        args += ["--tier", "smoke"]
+    sys.exit(main(args))

@@ -1,74 +1,18 @@
 """F6 — why unpredictability matters (§6.1 ablation).
 
-Definition 2.6's unpredictability lets Lemma 4 treat the coin as
-independent of the clock values it arbitrates (they were committed one
-beat earlier).  We arm the targeted anti-coin adversary three ways:
+Thin pytest shim over the ``fig_foresight`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/fig_foresight.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-* **rushing** (legal): sees the *current* beat's coin before sending;
-* **foresight-1** (illegal): also sees the *next* beat's coin — it can
-  steer the surviving clock value toward the value the next coin will not
-  merge;
-* for scale, the same attack **without** any coin knowledge.
+Registry equivalent::
 
-The paper predicts rushing costs nothing asymptotically (Theorem 2 holds);
-foresight degrades convergence measurably — every extra bit of prediction
-buys the adversary another coin-flip survival.
+    PYTHONPATH=src python -m repro bench run --only fig_foresight
 """
 
 from __future__ import annotations
 
-from repro.adversary.anti_coin import AntiCoinClock2Adversary
-from repro.analysis.convergence import ClockConvergenceMonitor
-from repro.analysis.tables import render_table
-from repro.coin.oracle import OracleCoin
-from repro.core.clock2 import SSByz2Clock
-from repro.net.simulator import Simulation
 
-COIN = OracleCoin(p0=0.45, p1=0.45, rounds=2)
-TRIALS = 15
-MAX_BEATS = 300
-
-
-def _mean_latency(foresight: int | None) -> float:
-    latencies = []
-    for seed in range(TRIALS):
-        if foresight is None:
-            adversary = None
-        else:
-            adversary = AntiCoinClock2Adversary(COIN, foresight=foresight)
-        sim = Simulation(
-            7, 2, lambda i: SSByz2Clock(COIN), adversary=adversary, seed=seed
-        )
-        monitor = ClockConvergenceMonitor(k=2)
-        sim.add_monitor(monitor)
-        sim.scramble()
-        sim.run(MAX_BEATS)
-        beat = monitor.convergence_beat()
-        latencies.append(beat if beat is not None else MAX_BEATS)
-    return sum(latencies) / len(latencies)
-
-
-def test_foresight_ablation(once, record_result, benchmark):
-    def experiment():
-        return {
-            "no adversary": _mean_latency(None),
-            "rushing (legal, sees beat r coin)": _mean_latency(0),
-            "foresight-1 (illegal, sees beat r+1 coin)": _mean_latency(1),
-        }
-
-    means = once(experiment)
-    rows = [[name, f"{mean:.1f}"] for name, mean in means.items()]
-    record_result(
-        "fig_foresight", render_table(["adversary", "mean beats"], rows)
-    )
-    benchmark.extra_info["means"] = means
-
-    fault_free = means["no adversary"]
-    rushing = means["rushing (legal, sees beat r coin)"]
-    foresight = means["foresight-1 (illegal, sees beat r+1 coin)"]
-    # The legal attack stays expected-constant (Theorem 2 under attack).
-    assert rushing < MAX_BEATS / 3
-    # The illegal upgrade hurts: slower than both the fault-free run and
-    # the rushing attack (the gap quantifies unpredictability's value).
-    assert foresight > fault_free
-    assert foresight >= rushing
+def test_fig_foresight(run_registered):
+    run_registered("fig_foresight")

@@ -1,106 +1,18 @@
 """F8 — §5: recursive doubling pays log k; ss-Byz-Clock-Sync does not.
 
-The paper gives two routes to a k-clock.  The recursive-doubling tower
-("any 2^(k+1)-Clock ... with A1 that solves 2^k-Clock and A2 that solves
-2-Clock") stacks log2(k) levels, each of which must converge before the
-next can; ss-Byz-Clock-Sync's 4-phase vote settles every bit of the clock
-in one shot.  Convergence latency vs k should grow for the tower and stay
-flat for ss-Byz-Clock-Sync — the reason the paper builds the latter.
+Thin pytest shim over the ``fig_logk`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/fig_logk.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
+
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only fig_logk
 """
 
 from __future__ import annotations
 
-from repro.analysis.convergence import ClockConvergenceMonitor
-from repro.analysis.tables import render_table
-from repro.coin.oracle import OracleCoin
-from repro.core.clock_sync import SSByzClockSync
-from repro.core.power_of_two import RecursiveDoublingClock
-from repro.net.simulator import Simulation
 
-TRIALS = 6
-MAX_BEATS = 600
-COIN_FACTORY = lambda: OracleCoin(p0=0.4, p1=0.4, rounds=2)
-
-
-def _mean_latency(factory, k):
-    latencies = []
-    for seed in range(TRIALS):
-        sim = Simulation(4, 1, factory, seed=seed)
-        monitor = ClockConvergenceMonitor(k=k)
-        sim.add_monitor(monitor)
-        sim.scramble()
-        sim.run(MAX_BEATS)
-        beat = monitor.convergence_beat()
-        latencies.append(beat if beat is not None else MAX_BEATS)
-    return sum(latencies) / len(latencies)
-
-
-def test_logk_overhead(once, record_result, benchmark):
-    def experiment():
-        table = {}
-        for exponent in (1, 2, 3, 4):
-            k = 2**exponent
-            table[k] = {
-                "doubling": _mean_latency(
-                    lambda i: RecursiveDoublingClock(exponent, COIN_FACTORY), k
-                ),
-                "clock_sync": _mean_latency(
-                    lambda i: SSByzClockSync(k, COIN_FACTORY), k
-                ),
-            }
-        return table
-
-    table = once(experiment)
-    rows = [
-        [f"k={k}", f"{v['doubling']:.1f}", f"{v['clock_sync']:.1f}"]
-        for k, v in sorted(table.items())
-    ]
-    record_result(
-        "fig_logk",
-        render_table(
-            ["modulus", "recursive doubling (beats)", "ss-Byz-Clock-Sync"], rows
-        ),
-    )
-    benchmark.extra_info["table"] = table
-
-    doubling = [table[k]["doubling"] for k in sorted(table)]
-    clock_sync = [table[k]["clock_sync"] for k in sorted(table)]
-    # The tower's latency grows with log k...
-    assert doubling[-1] > doubling[0] * 1.5
-    # ...while ss-Byz-Clock-Sync stays flat in k.
-    assert max(clock_sync) < 45
-    # Crossover: at large k, ss-Byz-Clock-Sync wins clearly.
-    assert table[16]["clock_sync"] < table[16]["doubling"]
-
-
-def test_squaring_schema_shallower_than_doubling(once, record_result, benchmark):
-    """§5's second schema: squaring reaches k=16 with 2 layers instead of
-    the doubling tower's 4, and converges correspondingly faster — while
-    still losing to ss-Byz-Clock-Sync's flat construction."""
-    from repro.core.cascade import squaring_tower
-    from repro.core.clock2 import SSByz2Clock
-
-    def experiment():
-        k = 16
-        return {
-            "doubling (4 layers)": _mean_latency(
-                lambda i: RecursiveDoublingClock(4, COIN_FACTORY), k
-            ),
-            "squaring (2 layers)": _mean_latency(
-                lambda i: squaring_tower(2, lambda: SSByz2Clock(COIN_FACTORY())),
-                k,
-            ),
-            "ss-Byz-Clock-Sync": _mean_latency(
-                lambda i: SSByzClockSync(k, COIN_FACTORY), k
-            ),
-        }
-
-    means = once(experiment)
-    rows = [[name, f"{mean:.1f}"] for name, mean in means.items()]
-    record_result(
-        "fig_logk_squaring",
-        render_table(["construction (k=16)", "mean beats"], rows),
-    )
-    benchmark.extra_info["means"] = means
-    assert means["squaring (2 layers)"] < means["doubling (4 layers)"]
-    assert means["ss-Byz-Clock-Sync"] < means["squaring (2 layers)"] * 2
+def test_fig_logk(run_registered):
+    run_registered("fig_logk")

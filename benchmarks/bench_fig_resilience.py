@@ -1,68 +1,18 @@
 """F3 — the resilience boundary: f < n/3 is tight.
 
-Theorem 4 claims optimal resiliency.  We probe the boundary with the
-bisector attack (two-sided majority pushing, coin-aware, model-legal):
+Thin pytest shim over the ``fig_resilience`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/fig_resilience.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-* at n = 3f + 1 (within the bound) it cannot hold two camps — only one
-  value can muster honest support n - 2f — so convergence stays constant;
-* at n = 3f (one node beyond the bound) it pins two camps of correct nodes
-  at opposite clock values forever once it wins a single coin flip.
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only fig_resilience
 """
 
 from __future__ import annotations
 
-from repro.adversary.bisector import BisectorAdversary
-from repro.analysis.convergence import ClockConvergenceMonitor
-from repro.analysis.tables import render_table
-from repro.coin.oracle import OracleCoin
-from repro.core.clock2 import SSByz2Clock
-from repro.net.simulator import Simulation
 
-COIN = OracleCoin(p0=0.4, p1=0.4, rounds=2)
-TRIALS = 10
-MAX_BEATS = 150
-
-
-def _stall_rate(n: int, f: int) -> float:
-    stalls = 0
-    for seed in range(TRIALS):
-        sim = Simulation(
-            n,
-            f,
-            lambda i: SSByz2Clock(COIN),
-            adversary=BisectorAdversary(COIN),
-            seed=seed,
-            enforce_resilience=False,
-        )
-        monitor = ClockConvergenceMonitor(k=2)
-        sim.add_monitor(monitor)
-        sim.scramble()
-        sim.run(MAX_BEATS)
-        if monitor.convergence_beat() is None:
-            stalls += 1
-    return stalls / TRIALS
-
-
-def test_resilience_boundary(once, record_result, benchmark):
-    def experiment():
-        return {
-            "n=3f+1 (f=2, n=7)": _stall_rate(7, 2),
-            "n=3f   (f=2, n=6)": _stall_rate(6, 2),
-            "n=3f+1 (f=3, n=10)": _stall_rate(10, 3),
-            "n=3f   (f=3, n=9)": _stall_rate(9, 3),
-        }
-
-    rates = once(experiment)
-    rows = [[name, f"{rate * 100:.0f}%"] for name, rate in rates.items()]
-    record_result(
-        "fig_resilience",
-        render_table([f"configuration ({MAX_BEATS}-beat stall rate)", "stalled"], rows),
-    )
-    benchmark.extra_info["stall_rates"] = rates
-
-    # Within the bound: never stalls.  One past it: stalls most of the time
-    # (the attack loses only its opening coin flips).
-    assert rates["n=3f+1 (f=2, n=7)"] == 0.0
-    assert rates["n=3f+1 (f=3, n=10)"] == 0.0
-    assert rates["n=3f   (f=2, n=6)"] >= 0.5
-    assert rates["n=3f   (f=3, n=9)"] >= 0.5
+def test_fig_resilience(run_registered):
+    run_registered("fig_resilience")

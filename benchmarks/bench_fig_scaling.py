@@ -1,89 +1,18 @@
 """F1 — convergence latency vs system size: flat / linear / exponential.
 
-Derived figure for the paper's central comparison: sweep n with
-f = ⌊(n-1)/3⌋ and plot mean convergence beats per family.  Expected
-shapes: the current paper's algorithm is flat in n (expected O(1)); the
-deterministic comparator grows linearly in f; the local-coin randomized
-family deteriorates so fast it is only measurable at toy sizes.
+Thin pytest shim over the ``fig_scaling`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/fig_scaling.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-Ported to the campaign subsystem: one picklable
-:class:`~repro.analysis.campaign.ScenarioSpec` grid per family, executed
-by :func:`~repro.analysis.campaign.run_campaign`.
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only fig_scaling
 """
 
 from __future__ import annotations
 
-from repro.analysis.campaign import run_campaign, scenario_grid
-from repro.analysis.tables import render_table
 
-K = 4
-SEEDS = range(6)
-
-
-def _mean_latencies(protocol: str, sizes, max_beats: int) -> dict:
-    """Per-(n, f) mean convergence latency (budget on non-convergence)."""
-    specs = scenario_grid(sizes, ks=[K], protocol=protocol, max_beats=max_beats)
-    table = {}
-    for entry in run_campaign(specs, SEEDS):
-        sweep = entry.sweep
-        if sweep.latencies:
-            mean = sum(sweep.latencies) / len(sweep.latencies)
-        else:
-            mean = float(max_beats)
-        table[(entry.spec.n, entry.spec.f)] = (mean, sweep.failure_count)
-    return table
-
-
-def test_scaling_current_flat_vs_deterministic_linear(once, record_result, benchmark):
-    sizes = [4, 7, 10, 13]
-
-    def experiment():
-        current = _mean_latencies("clock-sync", sizes, 400)
-        deterministic = _mean_latencies("deterministic", sizes, 200)
-        return {
-            key: {
-                "current": current[key][0],
-                "deterministic": deterministic[key][0],
-            }
-            for key in current
-        }
-
-    table = once(experiment)
-    rows = [
-        [f"n={n}, f={f}", f"{v['current']:.1f}", f"{v['deterministic']:.1f}"]
-        for (n, f), v in sorted(table.items())
-    ]
-    record_result(
-        "fig_scaling",
-        render_table(["system", "current (beats)", "deterministic (beats)"], rows),
-    )
-    benchmark.extra_info["table"] = {str(k): v for k, v in table.items()}
-    current = [v["current"] for v in table.values()]
-    deterministic = [
-        table[key]["deterministic"] for key in sorted(table.keys())
-    ]
-    # Deterministic grows monotonically with f...
-    assert deterministic == sorted(deterministic)
-    assert deterministic[-1] > deterministic[0] * 1.8
-    # ...while the current algorithm stays within a flat constant band.
-    assert max(current) < 45
-    # Crossover: by n=13 the deterministic baseline has lost.
-    assert table[(13, 4)]["current"] < table[(13, 4)]["deterministic"]
-
-
-def test_scaling_dolev_welch_explodes(once, record_result, benchmark):
-    def experiment():
-        return _mean_latencies("dolev-welch", [4, 7, 10], 500)
-
-    table = once(experiment)
-    rows = [
-        [f"n={n}, f={f}", f"{mean:.1f}", str(dnf)]
-        for (n, f), (mean, dnf) in sorted(table.items())
-    ]
-    record_result(
-        "fig_scaling_dw",
-        render_table(["system", "mean beats (DNF=500)", "DNF count"], rows),
-    )
-    benchmark.extra_info["table"] = {str(k): v for k, v in table.items()}
-    # The exponential family deteriorates sharply with n - f.
-    assert table[(10, 3)][0] > table[(4, 1)][0] * 3
+def test_fig_scaling(run_registered):
+    run_registered("fig_scaling")

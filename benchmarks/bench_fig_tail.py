@@ -1,62 +1,18 @@
 """F2 — geometric convergence tail (Theorem 2's discussion).
 
-"If at some beat the algorithm has not yet converged, then it has a
-constant probability of converging in the next beat.  Thus ... the
-probability that ss-Byz-2-Clock does not converge within l·Δ beats
-decreases exponentially with l."
+Thin pytest shim over the ``fig_tail`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/fig_tail.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-We measure the survival function P(latency > b) of ss-Byz-2-Clock over
-many seeds and check it halves (at least) every fixed stride — i.e. the
-tail is bounded by a geometric.
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only fig_tail
 """
 
 from __future__ import annotations
 
-from repro.analysis.convergence import ClockConvergenceMonitor
-from repro.analysis.stats import geometric_tail_rate
-from repro.analysis.tables import render_table
-from repro.coin.oracle import OracleCoin
-from repro.core.clock2 import SSByz2Clock
-from repro.net.simulator import Simulation
 
-COIN = OracleCoin(p0=0.35, p1=0.35, rounds=3)
-TRIALS = 80
-MAX_BEATS = 120
-
-
-def _latencies() -> list[int]:
-    latencies = []
-    for seed in range(TRIALS):
-        sim = Simulation(7, 2, lambda i: SSByz2Clock(COIN), seed=seed)
-        monitor = ClockConvergenceMonitor(k=2)
-        sim.add_monitor(monitor)
-        sim.scramble()
-        sim.run(MAX_BEATS)
-        beat = monitor.convergence_beat()
-        latencies.append(beat if beat is not None else MAX_BEATS)
-    return latencies
-
-
-def test_tail_decays_geometrically(once, record_result, benchmark):
-    latencies = once(_latencies)
-    checkpoints = [4, 8, 16, 32, 64]
-    survival = {
-        b: sum(1 for v in latencies if v > b) / len(latencies)
-        for b in checkpoints
-    }
-    rate = geometric_tail_rate(latencies)
-    rows = [[f"beat {b}", f"{p:.3f}"] for b, p in survival.items()]
-    rows.append(["fitted per-beat success", f"{rate:.3f}"])
-    record_result(
-        "fig_tail", render_table(["P(not converged by ...)", "value"], rows)
-    )
-    benchmark.extra_info["survival"] = survival
-    benchmark.extra_info["per_beat_success"] = rate
-
-    # Shape assertions: monotone, sub-halving per doubling, empty far tail.
-    values = [survival[b] for b in checkpoints]
-    assert all(a >= b for a, b in zip(values, values[1:]))
-    assert survival[8] < 0.7
-    assert survival[32] <= 0.1
-    assert survival[64] <= 0.02
-    assert rate > 0.1  # a per-beat constant, not inverse-polynomial
+def test_fig_tail(run_registered):
+    run_registered("fig_tail")

@@ -1,256 +1,30 @@
 """Link-condition sweep: convergence vs. delay bound and loss rate.
 
-The paper's guarantees (expected-constant convergence, Table 1) assume the
-non-faulty network of Definition 2.2 — every message delivered within its
-beat.  This bench measures what happens just outside that assumption, the
-regime the follow-on literature (fault-resistant asynchronous clock
-functions, bounded-delay pulse resynchronization) targets:
+Thin pytest shim over the ``link_conditions`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/link_conditions.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-* **delay sweep** — ``BoundedDelayLinks(max_delay=d)`` for d ∈ 0..3;
-* **loss sweep** — ``LossyLinks(loss=p)`` for p ∈ {0, 2%, 5%, 10%, 20%};
+Registry equivalent::
 
-each crossed with ss-Byz-Clock-Sync (oracle coin) and the Table-1
-baselines (``deterministic``, ``dolev-welch``), reporting success rate and
-mean convergence latency per cell.  Expected shape: omission loss degrades
-ss-Byz-Clock-Sync *gracefully* (latency grows, success stays high), while
-any delay bound ≥ 1 violates the same-beat counting the proofs lean on and
-collapses Definition-3.2 closure for the randomized protocols — which is
-exactly why the bounded-delay literature redesigns the protocol rather
-than re-running it.  Dolev-Welch's unbounded-counter max-flooding, by
-contrast, shrugs off moderate loss and even tolerates delays at small
-sizes — its weakness is the counter, not the link.
-
-Run standalone (no pytest needed)::
-
-    PYTHONPATH=src python benchmarks/bench_link_conditions.py          # full sweep
-    PYTHONPATH=src python benchmarks/bench_link_conditions.py --smoke  # CI guard
-
-Smoke mode runs a reduced grid and exits non-zero if perfect-link
-clock-sync fails to converge (the no-op guarantee) or the harness errors.
-Both modes write ``benchmarks/results/link_conditions.json`` (+ ``.txt``).
+    PYTHONPATH=src python -m repro bench run --only link_conditions
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
-import sys
-import time
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-#: Protocols crossed with every link condition (name, ScenarioSpec kwargs).
-PROTOCOLS = (
-    ("clock-sync", {"protocol": "clock-sync", "coin": "oracle"}),
-    ("deterministic", {"protocol": "deterministic"}),
-    ("dolev-welch", {"protocol": "dolev-welch"}),
-)
-
-FULL = {
-    "n": 7,
-    "f": 2,
-    "k": 8,
-    "seeds": 10,
-    "max_beats": 300,
-    "delays": (0, 1, 2, 3),
-    "losses": (0.0, 0.02, 0.05, 0.1, 0.2),
-}
-
-SMOKE = {
-    "n": 4,
-    "f": 1,
-    "k": 6,
-    "seeds": 3,
-    "max_beats": 150,
-    "delays": (0, 2),
-    "losses": (0.0, 0.1),
-}
+def test_link_conditions(run_registered):
+    run_registered("link_conditions")
 
 
-def _specs(params: dict) -> list:
-    from repro.analysis.campaign import ScenarioSpec
+if __name__ == "__main__":  # legacy standalone entry point (CI used to
+    # call this directly; ``--smoke`` maps to the smoke tier)
+    import sys
 
-    specs = []
-    links: list[tuple[str, str, tuple]] = [("perfect", "perfect", ())]
-    links += [
-        ("delay", f"delay d={d}", (("max_delay", d),))
-        for d in params["delays"]
-        if d > 0
-    ]
-    links += [
-        ("lossy", f"loss p={p:g}", (("loss", p),))
-        for p in params["losses"]
-        if p > 0
-    ]
-    for protocol_name, kwargs in PROTOCOLS:
-        for link, condition, link_params in links:
-            specs.append(
-                (
-                    protocol_name,
-                    condition,
-                    ScenarioSpec(
-                        n=params["n"],
-                        f=params["f"],
-                        k=params["k"],
-                        max_beats=params["max_beats"],
-                        link=link,
-                        link_params=link_params,
-                        tag=condition,
-                        **kwargs,
-                    ),
-                )
-            )
-    return specs
+    from repro.cli import main
 
-
-def run_sweep(params: dict, workers: int | None = None) -> dict:
-    """Run the protocol × link-condition matrix; return a JSON record."""
-    from repro.analysis.campaign import run_campaign
-
-    labelled = _specs(params)
-    entries = run_campaign(
-        [spec for _, _, spec in labelled],
-        seeds=range(params["seeds"]),
-        workers=workers,
-    )
-    rows = []
-    for (protocol, condition, _spec), entry in zip(labelled, entries):
-        sweep = entry.sweep
-        latencies = sweep.latencies
-        rows.append(
-            {
-                "protocol": protocol,
-                "condition": condition,
-                "link": entry.spec.link,
-                "link_params": dict(entry.spec.link_params),
-                "success_rate": sweep.success_rate,
-                "mean_latency": (
-                    sum(latencies) / len(latencies) if latencies else None
-                ),
-                "max_latency": max(latencies) if latencies else None,
-                "mean_dropped": sweep.mean_dropped_messages,
-                "mean_delayed": sweep.mean_delayed_messages,
-            }
-        )
-    return {
-        "experiment": "convergence under degraded links",
-        "n": params["n"],
-        "f": params["f"],
-        "k": params["k"],
-        "seeds": params["seeds"],
-        "max_beats": params["max_beats"],
-        "rows": rows,
-    }
-
-
-def _render(report: dict) -> str:
-    header = (
-        f"{'protocol':<14} | {'condition':<12} | {'success':>7} | "
-        f"{'mean conv':>9} | {'max conv':>8} | {'dropped/run':>11}"
-    )
-    lines = [
-        f"link-condition sweep: n={report['n']} f={report['f']} "
-        f"k={report['k']}, {report['seeds']} seeds, "
-        f"budget {report['max_beats']} beats",
-        header,
-        "-" * len(header),
-    ]
-    for row in report["rows"]:
-        mean = "-" if row["mean_latency"] is None else f"{row['mean_latency']:.1f}"
-        peak = "-" if row["max_latency"] is None else f"{row['max_latency']}"
-        lines.append(
-            f"{row['protocol']:<14} | {row['condition']:<12} | "
-            f"{row['success_rate'] * 100:>6.0f}% | {mean:>9} | {peak:>8} | "
-            f"{row['mean_dropped']:>11.0f}"
-        )
-    return "\n".join(lines)
-
-
-def _write_outputs(report: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "link_conditions.json").write_text(
-        json.dumps(report, indent=2) + "\n", encoding="utf-8"
-    )
-    (RESULTS_DIR / "link_conditions.txt").write_text(
-        _render(report) + "\n", encoding="utf-8"
-    )
-
-
-def _check(report: dict) -> list[str]:
-    """The qualitative claims the sweep must reproduce."""
-    failures = []
-    by_cell = {(r["protocol"], r["condition"]): r for r in report["rows"]}
-    for protocol in ("clock-sync", "deterministic", "dolev-welch"):
-        perfect = by_cell[(protocol, "perfect")]
-        # Expected-constant (clock-sync) and f+1-linear (deterministic)
-        # protocols must always make the budget under perfect links;
-        # Dolev-Welch is Table 1's expected-*exponential* baseline, so for
-        # it we only demand no degraded cell beats the perfect one.
-        if protocol != "dolev-welch" and perfect["success_rate"] < 1.0:
-            failures.append(
-                f"{protocol} under perfect links must always converge, got "
-                f"{perfect['success_rate']:.0%}"
-            )
-        if perfect["mean_dropped"] != 0:
-            failures.append(f"{protocol}: perfect links dropped messages")
-        for row in report["rows"]:
-            if (
-                row["protocol"] == protocol
-                and row["success_rate"] > perfect["success_rate"]
-            ):
-                failures.append(
-                    f"{protocol}: degraded cell {row['condition']} converged "
-                    "more often than perfect links"
-                )
-    lossy_cells = [
-        r for r in report["rows"]
-        if r["protocol"] == "clock-sync" and r["condition"].startswith("loss")
-    ]
-    if lossy_cells and max(r["success_rate"] for r in lossy_cells) == 0.0:
-        failures.append("clock-sync failed at every loss rate; expected "
-                        "graceful degradation at small p")
-    return failures
-
-
-# -- pytest-benchmark entry point (same harness as the other benches) -----
-
-
-def test_link_condition_sweep(once, record_result, benchmark):
-    """Loss degrades gracefully; perfect links stay a no-op baseline."""
-    report = once(run_sweep, FULL)
-    record_result("link_conditions", _render(report))
-    (RESULTS_DIR / "link_conditions.json").write_text(
-        json.dumps(report, indent=2) + "\n", encoding="utf-8"
-    )
-    benchmark.extra_info["rows"] = report["rows"]
-    failures = _check(report)
-    assert not failures, failures
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="reduced grid + invariant checks (CI guard); does not "
-             "overwrite the checked-in full-sweep results",
-    )
-    parser.add_argument("--workers", type=int, default=None)
-    args = parser.parse_args(argv)
-    params = SMOKE if args.smoke else FULL
-    started = time.perf_counter()
-    report = run_sweep(params, workers=args.workers)
-    elapsed = time.perf_counter() - started
-    print(_render(report))
-    print(f"\nsweep completed in {elapsed:.1f}s")
-    if not args.smoke:
-        _write_outputs(report)
-        print(f"wrote {RESULTS_DIR / 'link_conditions.json'}")
-    failures = _check(report)
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())
+    args = ["bench", "run", "--only", "link_conditions"]
+    if "--smoke" in sys.argv[1:]:
+        args += ["--tier", "smoke"]
+    sys.exit(main(args))

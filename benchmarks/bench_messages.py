@@ -1,112 +1,18 @@
 """F5 — message complexity, and the Remark 4.1 coin-sharing ablation.
 
-ss-Byz-Clock-Sync runs three coin pipelines (A1's, A2's, and its own) in
-the literal reading; Remark 4.1 observes that a single pipeline suffices,
-saving a constant factor in message complexity without hurting expected
-convergence.  We also record how traffic scales with n for the paper's
-algorithm vs the deterministic comparator.
+Thin pytest shim over the ``messages`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/messages.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-Both experiments run through the campaign subsystem: picklable
-:class:`~repro.analysis.campaign.ScenarioSpec` grids fanned out by
-:func:`~repro.analysis.campaign.run_campaign`.
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only messages
 """
 
 from __future__ import annotations
 
-from repro.analysis.campaign import (
-    ScenarioSpec,
-    run_campaign,
-    scenario_grid,
-    single_scenario_sweep,
-)
-from repro.analysis.tables import render_table
 
-K = 8
-SEEDS = range(4)
-
-
-def test_share_coin_ablation(once, record_result, benchmark):
-    """Remark 4.1: sharing the coin pipeline cuts messages, keeps O(1).
-
-    Measured with the real GVSS coin, whose four-round dealings dominate
-    traffic — the literal reading runs three pipelines (A1's, A2's, its
-    own), the optimized variant runs two.
-    """
-    n, f = 4, 1
-
-    def experiment():
-        separate_spec = ScenarioSpec(
-            n=n, f=f, k=K, coin="gvss", max_beats=120
-        )
-        shared_spec = ScenarioSpec(
-            n=n, f=f, k=K, coin="gvss", max_beats=120, share_coin=True
-        )
-        separate = single_scenario_sweep(separate_spec, SEEDS)
-        shared = single_scenario_sweep(shared_spec, SEEDS)
-        return separate, shared
-
-    separate, shared = once(experiment)
-    rows = [
-        [
-            "separate pipelines",
-            f"{separate.mean_messages_per_beat:.0f}",
-            f"{separate.latency_summary().mean:.1f}",
-            f"{separate.success_rate * 100:.0f}%",
-        ],
-        [
-            "shared pipeline (Remark 4.1)",
-            f"{shared.mean_messages_per_beat:.0f}",
-            f"{shared.latency_summary().mean:.1f}",
-            f"{shared.success_rate * 100:.0f}%",
-        ],
-    ]
-    record_result(
-        "messages_share_coin",
-        render_table(["variant", "msgs/beat", "mean conv.", "converged"], rows),
-    )
-    benchmark.extra_info["separate_msgs_per_beat"] = separate.mean_messages_per_beat
-    benchmark.extra_info["shared_msgs_per_beat"] = shared.mean_messages_per_beat
-
-    assert shared.success_rate == 1.0 and separate.success_rate == 1.0
-    # Two pipelines instead of three: a solid constant-factor saving.
-    assert shared.mean_messages_per_beat < separate.mean_messages_per_beat * 0.85
-
-
-def test_traffic_scales_quadratically_in_n(once, record_result, benchmark):
-    sizes = [4, 7, 10, 13]
-
-    def experiment():
-        current = run_campaign(
-            scenario_grid(sizes, ks=[K], protocol="clock-sync", max_beats=300),
-            SEEDS,
-        )
-        deterministic = run_campaign(
-            scenario_grid(sizes, ks=[K], protocol="deterministic", max_beats=100),
-            SEEDS,
-        )
-        return {
-            entry.spec.n: {
-                "current": entry.sweep.mean_messages_per_beat,
-                "deterministic": det.sweep.mean_messages_per_beat,
-            }
-            for entry, det in zip(current, deterministic)
-        }
-
-    table = once(experiment)
-    rows = [
-        [f"n={n}", f"{v['current']:.0f}", f"{v['deterministic']:.0f}"]
-        for n, v in sorted(table.items())
-    ]
-    record_result(
-        "messages_scaling",
-        render_table(
-            ["system", "current msgs/beat", "deterministic msgs/beat"], rows
-        ),
-    )
-    benchmark.extra_info["table"] = table
-
-    # Broadcast protocols: Θ(n^2)-flavoured growth — superlinear, bounded
-    # by cubic; and the current algorithm's per-beat traffic must not blow
-    # up relative to the deterministic baseline's.
-    ratio = table[13]["current"] / table[4]["current"]
-    assert 2 < ratio < 40
+def test_messages(run_registered):
+    run_registered("messages")

@@ -1,102 +1,18 @@
-"""T1 — Table 1 reproduction: convergence/resilience of the three families.
+"""T1 — Table 1 reproduction: convergence/resilience of the families.
 
-Paper's Table 1 (claims):
+Thin pytest shim over the ``table1`` registration in the benchmark
+registry — the experiment's full definition (measurement, metrics,
+qualitative checks) lives in ``src/repro/bench/suites/table1.py``.
+Running this file executes the benchmark at the full tier and
+regenerates its blocks under ``benchmarks/results/``.
 
-    [10]  sync, probabilistic   O(2^(2(n-f)))   f < n/3
-    [15]  sync, deterministic   O(f)            f < n/4
-    [7]   sync, deterministic   O(f)            f < n/3
-    current sync, probabilistic O(1) expected   f < n/3
+Registry equivalent::
 
-We measure each family on the same k-Clock instance from scrambled memory.
-Absolute beat counts are ours; the *ordering and growth shapes* are the
-paper's claims under test.
+    PYTHONPATH=src python -m repro bench run --only table1
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table, table1_comparison
 
-HEADERS = ["paper row", "claimed conv.", "resilience", "config", "measured", "ok"]
-
-
-def test_table1_row_dolev_welch(once, record_result, benchmark):
-    # Same k-Clock instance (k=8) as the other rows would use at n=10, but
-    # the exponential family needs a cap: latencies are censored at 600.
-    rows = once(
-        table1_comparison,
-        n=10,
-        f=3,
-        k=4,
-        seeds=range(6),
-        max_beats=600,
-        families=("dolev-welch",),
-    )
-    row = rows[0]
-    latencies = list(row.sweep.latencies) + [600] * row.sweep.failure_count
-    mean = sum(latencies) / len(latencies)
-    benchmark.extra_info["mean_beats_censored"] = mean
-    record_result(
-        "table1_dolev_welch",
-        render_table(HEADERS, [row.cells()])
-        + f"\n(censored mean over all seeds: {mean:.0f} beats)",
-    )
-    # Exponential family: an order of magnitude above the constant-time
-    # row at the same system size (compare test_table1_row_current's < 40).
-    assert mean > 60
-
-
-def test_table1_row_deterministic(once, record_result, benchmark):
-    rows = once(
-        table1_comparison,
-        n=10,
-        f=3,
-        k=8,
-        seeds=range(5),
-        max_beats=120,
-        families=("deterministic",),
-    )
-    row = rows[0]
-    assert row.sweep.success_rate == 1.0
-    latencies = row.sweep.latencies
-    benchmark.extra_info["latencies"] = latencies
-    record_result("table1_deterministic", render_table(HEADERS, [row.cells()]))
-    # Deterministic: every seed identical, and linear-in-f sized (depth-1).
-    assert len(set(latencies)) == 1
-    assert 3 * 3 <= latencies[0] <= 2 * (2 + 3 * (3 + 1))
-
-
-def test_table1_row_current(once, record_result, benchmark):
-    rows = once(
-        table1_comparison,
-        n=10,
-        f=3,
-        k=8,
-        seeds=range(8),
-        max_beats=400,
-        families=("current",),
-    )
-    row = rows[0]
-    assert row.sweep.success_rate == 1.0
-    mean = sum(row.sweep.latencies) / len(row.sweep.latencies)
-    benchmark.extra_info["mean_beats"] = mean
-    record_result("table1_current", render_table(HEADERS, [row.cells()]))
-    # Expected-constant: small mean, not tied to f or n.
-    assert mean < 40
-
-
-def test_table1_full_rendering(once, record_result):
-    """The combined table at one configuration, like the paper prints it."""
-    rows = once(
-        table1_comparison,
-        n=7,
-        f=2,
-        k=4,
-        seeds=range(5),
-        max_beats=400,
-    )
-    text = render_table(HEADERS, [row.cells() for row in rows])
-    record_result("table1_combined", text)
-    by_name = {row.paper_row: row for row in rows}
-    det = by_name["[15]/[7] sync, deterministic"].sweep
-    cur = by_name["current paper, probabilistic"].sweep
-    assert det.success_rate == 1.0 and cur.success_rate == 1.0
+def test_table1(run_registered):
+    run_registered("table1")

@@ -1,10 +1,15 @@
 """Shared benchmark support.
 
-Every bench regenerates one experiment from DESIGN.md's index (T1, F1-F8),
-asserts the paper's qualitative claim (the *shape*: who wins, by what
-rough factor, where the crossover sits), stores the measured numbers in
-``benchmark.extra_info``, and appends a human-readable block to
-``benchmarks/results/`` so EXPERIMENTS.md can quote real output.
+Every ``bench_*.py`` file here is a thin pytest shim over one
+registration in the benchmark registry (``src/repro/bench/suites/`` —
+see ``python -m repro bench list``).  Running a shim executes its
+benchmark at the full tier, regenerates the human-readable blocks and
+raw JSON under ``benchmarks/results/``, and fails if any of the
+benchmark's qualitative claims (the *shape* the paper argues: who wins,
+by what rough factor, where the crossover sits) stop holding.
+``docs/protocol.md`` maps each claim back to the paper; CI runs the
+smoke tier plus the regression gate (``python -m repro bench run --tier
+smoke && python -m repro bench gate``).
 """
 
 from __future__ import annotations
@@ -17,28 +22,16 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
-def record_result():
-    """Write (and echo) one experiment's rendered output block."""
+def run_registered():
+    """Run one registered benchmark at a tier; fail on its own checks."""
 
-    def _record(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n", encoding="utf-8")
-        print(f"\n[{name}]\n{text}")
+    def _run(name: str, tier: str = "full"):
+        from repro.bench import get_benchmark, run_benchmark
 
-    return _record
+        report = run_benchmark(
+            get_benchmark(name), tier, results_dir=RESULTS_DIR
+        )
+        assert not report.outcome.failures, report.outcome.failures
+        return report
 
-
-@pytest.fixture
-def once(benchmark):
-    """Run the measured experiment exactly once under the benchmark timer.
-
-    Convergence latencies are measured in *beats* inside the experiment;
-    the wall-clock timing pytest-benchmark reports is secondary (it tracks
-    simulation cost, which the message-complexity analysis cares about).
-    """
-
-    def _once(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-    return _once
+    return _run

@@ -1,0 +1,259 @@
+"""Baseline comparison and regression gating for benchmark summaries.
+
+``benchmarks/baselines.json`` pins the expected value of every *gated*
+metric, per tier (smoke-tier runs use reduced parameter grids, so their
+numbers live under their own tier section and never collide with
+full-tier cells).  The gate checks the current ``BENCH_summary.json``
+against the matching tier section:
+
+* a gated result whose value moved beyond ``tolerance`` in the *bad*
+  direction (``direction`` field) is a **regression**;
+* a baselined key that a re-run of the same benchmark no longer produces
+  is a **missing metric** (coverage silently shrank);
+* a gated result with no baseline entry is reported as *new* — not fatal,
+  so adding benchmarks doesn't break CI before the baseline refresh.
+
+Intentional perf changes refresh the pinned numbers with
+``python -m repro bench gate --baseline ... --update-baseline``, which
+replaces every entry belonging to a benchmark that ran in the current
+summary (within its tier section) and leaves the rest untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bench.result import BASELINE_SCHEMA, BenchResult, result_key
+from repro.bench.registry import TIERS
+from repro.errors import ConfigurationError
+
+DEFAULT_TOLERANCE = 0.2
+
+#: Treat |baseline| below this as zero: relative tolerance is meaningless
+#: there, so any move past the tolerance *absolute* step in the bad
+#: direction trips the gate instead.
+_ZERO = 1e-9
+
+
+def parse_tolerance(raw: "str | float") -> float:
+    """``"20%"`` or ``0.2`` -> 0.2; raises ``ConfigurationError``."""
+    if isinstance(raw, (int, float)):
+        value = float(raw)
+    else:
+        text = raw.strip()
+        try:
+            value = (
+                float(text[:-1]) / 100.0 if text.endswith("%") else float(text)
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"tolerance {raw!r} must be a fraction (0.2) or percentage "
+                "(20%)"
+            ) from None
+    if not 0 <= value < 10:
+        raise ConfigurationError(f"tolerance {value} out of range [0, 10)")
+    return value
+
+
+def empty_baselines() -> dict:
+    return {
+        "schema": BASELINE_SCHEMA,
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "tiers": {},
+    }
+
+
+def load_baselines(path: "pathlib.Path | str") -> dict:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"baseline file {path} does not exist")
+    baselines = json.loads(path.read_text(encoding="utf-8"))
+    validate_baselines(baselines)
+    return baselines
+
+
+def validate_baselines(baselines: object) -> None:
+    if not isinstance(baselines, dict):
+        raise ValueError("baselines must be a JSON object")
+    if baselines.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"unknown baseline schema {baselines.get('schema')!r}")
+    tiers = baselines.get("tiers")
+    if not isinstance(tiers, dict):
+        raise ValueError("baselines.tiers must be an object")
+    for tier, entries in tiers.items():
+        if tier not in TIERS:
+            raise ValueError(f"baselines pin unknown tier {tier!r}")
+        for key, entry in entries.items():
+            if not isinstance(entry, dict) or "value" not in entry:
+                raise ValueError(f"baseline entry {key!r} needs a value")
+
+
+def write_baselines(baselines: dict, path: "pathlib.Path | str") -> None:
+    validate_baselines(baselines)
+    pathlib.Path(path).write_text(
+        json.dumps(baselines, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _gated_results(summary: Mapping) -> list[BenchResult]:
+    results = [BenchResult.from_json(r) for r in summary["results"]]
+    return [r for r in results if r.gated]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One key's old-vs-new comparison."""
+
+    key: str
+    old: float
+    new: float
+    unit: str
+    direction: str
+
+    @property
+    def relative(self) -> float:
+        """Signed relative change; positive means *worse*."""
+        sign = 1.0 if self.direction == "lower" else -1.0
+        if abs(self.old) < _ZERO:
+            return 0.0 if abs(self.new - self.old) < _ZERO else sign * (
+                1.0 if self.new > self.old else -1.0
+            ) * float("inf")
+        return sign * (self.new - self.old) / abs(self.old)
+
+    def regressed(self, tolerance: float) -> bool:
+        if abs(self.old) < _ZERO:
+            # Near-zero baseline (e.g. a 0% stall rate, 0 dropped
+            # messages): any move past `tolerance` absolute units in the
+            # bad direction counts.
+            sign = 1.0 if self.direction == "lower" else -1.0
+            return sign * (self.new - self.old) > tolerance + _ZERO
+        return self.relative > tolerance
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Everything the gate decided, ready for rendering and exit codes."""
+
+    tier: str
+    tolerance: float
+    deltas: tuple[Delta, ...]
+    regressions: tuple[Delta, ...]
+    missing: tuple[str, ...]
+    new_keys: tuple[str, ...]
+    checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+
+def compare_to_baselines(
+    summary: Mapping,
+    baselines: Mapping,
+    *,
+    tolerance: "float | None" = None,
+) -> GateReport:
+    """Gate one summary against the baseline file's matching tier."""
+    tier = summary["tier"]
+    if tolerance is None:
+        tolerance = float(
+            baselines.get("default_tolerance", DEFAULT_TOLERANCE)
+        )
+    entries = baselines.get("tiers", {}).get(tier, {})
+    current = {result_key(r): r for r in _gated_results(summary)}
+    ran = set(summary["benchmarks"])
+    deltas, regressions, new_keys = [], [], []
+    for key, result in sorted(current.items()):
+        entry = entries.get(key)
+        if entry is None:
+            new_keys.append(key)
+            continue
+        delta = Delta(
+            key=key,
+            old=float(entry["value"]),
+            new=result.value,
+            unit=result.unit,
+            direction=entry.get("direction", result.direction),
+        )
+        deltas.append(delta)
+        if delta.regressed(parse_tolerance(entry.get("tolerance", tolerance))):
+            regressions.append(delta)
+    missing = [
+        key
+        for key in sorted(entries)
+        if key.split("/", 1)[0] in ran and key not in current
+    ]
+    return GateReport(
+        tier=tier,
+        tolerance=tolerance,
+        deltas=tuple(deltas),
+        regressions=tuple(regressions),
+        missing=tuple(missing),
+        new_keys=tuple(new_keys),
+        checked=len(deltas),
+    )
+
+
+def compare_summaries(
+    old: Mapping, new: Mapping, *, tolerance: float = DEFAULT_TOLERANCE
+) -> GateReport:
+    """Diff two summaries (old as the reference) — ``bench compare``."""
+    if old.get("tier") != new.get("tier"):
+        # Tiers run different parameter grids under colliding keys, so a
+        # cross-tier diff would compare incomparable cells (or nothing)
+        # while still reporting success.
+        raise ConfigurationError(
+            f"cannot compare a {old.get('tier')!r}-tier summary against a "
+            f"{new.get('tier')!r}-tier one: tiers use different parameter "
+            "grids"
+        )
+    reference = dict(old)
+    reference_entries = {
+        result_key(r): {"value": r.value, "direction": r.direction}
+        for r in _gated_results(reference)
+    }
+    baselines = {
+        "schema": BASELINE_SCHEMA,
+        "default_tolerance": tolerance,
+        "tiers": {new["tier"]: reference_entries},
+    }
+    return compare_to_baselines(new, baselines, tolerance=tolerance)
+
+
+def update_baselines(
+    baselines: dict, summary: Mapping, *, tolerance: "float | None" = None
+) -> dict:
+    """Refresh the summary's tier section from its gated results.
+
+    Every entry belonging to a benchmark that ran in this summary is
+    replaced (so metrics that disappeared are pruned); entries from
+    benchmarks that did not run — and other tiers — are preserved.
+    """
+    updated = {
+        "schema": BASELINE_SCHEMA,
+        "default_tolerance": baselines.get(
+            "default_tolerance", DEFAULT_TOLERANCE
+        ),
+        "tiers": {t: dict(e) for t, e in baselines.get("tiers", {}).items()},
+    }
+    if tolerance is not None:
+        updated["default_tolerance"] = tolerance
+    tier = summary["tier"]
+    ran = set(summary["benchmarks"])
+    entries = {
+        key: entry
+        for key, entry in updated["tiers"].get(tier, {}).items()
+        if key.split("/", 1)[0] not in ran
+    }
+    for result in _gated_results(summary):
+        entries[result_key(result)] = {
+            "value": result.value,
+            "unit": result.unit,
+            "direction": result.direction,
+        }
+    updated["tiers"][tier] = entries
+    return updated

@@ -1,0 +1,199 @@
+"""Benchmark execution harness: run registrations, persist the trajectory.
+
+One :func:`run_benchmark` call executes a single registration at a tier
+and writes its :class:`~repro.bench.result.BenchReport` to
+``benchmarks/results/<name>.json`` (plus the benchmark's human-readable
+``.txt`` tables, which the docs quote).  :func:`run_tier` drives a whole
+tier selection and aggregates everything into the repo-root
+``BENCH_summary.json`` — the single file the regression gate and the
+perf-trajectory tooling read.
+
+Smoke runs keep the checked-in full-tier ``.txt``/``.json`` artifacts
+stable by suffixing their per-benchmark files with ``.smoke``; the
+aggregated summary is always rewritten (CI uploads it as an artifact,
+local smoke runs can ``git checkout BENCH_summary.json`` afterwards).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Iterable
+
+from repro.bench.registry import Benchmark, select_tier
+from repro.bench.result import (
+    SUMMARY_SCHEMA,
+    BenchOutcome,
+    BenchReport,
+    git_metadata,
+    validate_result_record,
+)
+
+def _find_repo_root() -> pathlib.Path:
+    """The checkout the default artifact paths live in.
+
+    From the source tree, three levels up from this module; when the
+    package is pip-installed (module under site-packages), fall back to
+    the working directory so defaults stay inside the user's checkout.
+    """
+    candidate = pathlib.Path(__file__).resolve().parents[3]
+    if (candidate / "benchmarks").is_dir():
+        return candidate
+    return pathlib.Path.cwd()
+
+
+REPO_ROOT = _find_repo_root()
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+SUMMARY_PATH = REPO_ROOT / "BENCH_summary.json"
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    tier: str = "full",
+    *,
+    results_dir: "pathlib.Path | str | None" = RESULTS_DIR,
+) -> BenchReport:
+    """Execute one benchmark at ``tier``; persist its report and tables.
+
+    Pass ``results_dir=None`` to skip writing (pure in-memory run).
+    """
+    params = benchmark.params_for(tier)
+    started = time.perf_counter()
+    outcome = benchmark.runner(**params)
+    report = BenchReport(
+        benchmark=benchmark.name,
+        tier=tier,
+        params=params,
+        outcome=outcome,
+        elapsed_s=time.perf_counter() - started,
+        git=git_metadata(str(REPO_ROOT)),
+    )
+    if results_dir is not None:
+        write_report(report, pathlib.Path(results_dir))
+    return report
+
+
+def write_report(report: BenchReport, results_dir: pathlib.Path) -> pathlib.Path:
+    """Write ``<name>[.smoke].json`` and the outcome's ``.txt`` tables."""
+    results_dir.mkdir(parents=True, exist_ok=True)
+    suffix = ".smoke" if report.tier == "smoke" else ""
+    path = results_dir / f"{report.benchmark}{suffix}.json"
+    path.write_text(
+        json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8"
+    )
+    for table_name, text in report.outcome.tables:
+        table_path = results_dir / f"{table_name}{suffix}.txt"
+        table_path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def run_tier(
+    tier: str,
+    *,
+    only: Iterable[str] | None = None,
+    results_dir: "pathlib.Path | str | None" = RESULTS_DIR,
+    summary_path: "pathlib.Path | str | None" = SUMMARY_PATH,
+    progress: Callable[[str], None] | None = None,
+    benchmarks: "list[Benchmark] | None" = None,
+) -> dict:
+    """Run a tier selection and write the aggregated summary.
+
+    ``only`` names specific benchmarks (overriding the tier selection —
+    the tier still picks their parameter set); ``benchmarks`` overrides
+    the selection outright (tests inject toys this way).  Returns the
+    summary record.
+    """
+    if benchmarks is None:
+        if only is not None:
+            # Explicit names override the tier *selection* (the tier still
+            # chooses the parameter set they execute with).
+            from repro.bench.registry import get_benchmark
+
+            benchmarks = [get_benchmark(name) for name in dict.fromkeys(only)]
+        else:
+            benchmarks = select_tier(tier)
+    elif only is not None:
+        benchmarks = [b for b in benchmarks if b.name in set(only)]
+    started = time.perf_counter()
+    reports = []
+    for benchmark in benchmarks:
+        if progress is not None:
+            progress(benchmark.name)
+        reports.append(run_benchmark(benchmark, tier, results_dir=results_dir))
+    summary = summarize(reports, tier, elapsed_s=time.perf_counter() - started)
+    if summary_path is not None:
+        write_summary(summary, pathlib.Path(summary_path))
+    return summary
+
+
+def summarize(
+    reports: Iterable[BenchReport], tier: str, *, elapsed_s: float = 0.0
+) -> dict:
+    """Aggregate per-benchmark reports into the summary record."""
+    reports = list(reports)
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "tier": tier,
+        "python": sys.version.split()[0],
+        "git": git_metadata(str(REPO_ROOT)),
+        "elapsed_s": round(elapsed_s, 3),
+        "benchmarks": {
+            report.benchmark: {
+                "tier": report.tier,
+                "elapsed_s": round(report.elapsed_s, 3),
+                "failures": list(report.outcome.failures),
+                "results": len(report.outcome.results),
+            }
+            for report in reports
+        },
+        "results": [
+            result.to_json()
+            for report in reports
+            for result in report.outcome.results
+        ],
+    }
+
+
+def write_summary(summary: dict, path: pathlib.Path) -> pathlib.Path:
+    validate_summary(summary)
+    path.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_summary(path: "pathlib.Path | str") -> dict:
+    summary = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    validate_summary(summary)
+    return summary
+
+
+def validate_summary(summary: object) -> None:
+    """Schema check for the aggregated summary; raises ``ValueError``."""
+    if not isinstance(summary, dict):
+        raise ValueError("summary must be a JSON object")
+    if summary.get("schema") != SUMMARY_SCHEMA:
+        raise ValueError(f"unknown summary schema {summary.get('schema')!r}")
+    if not isinstance(summary.get("tier"), str):
+        raise ValueError("summary.tier must be a string")
+    if not isinstance(summary.get("benchmarks"), dict):
+        raise ValueError("summary.benchmarks must be an object")
+    results = summary.get("results")
+    if not isinstance(results, list):
+        raise ValueError("summary.results must be a list")
+    for record in results:
+        validate_result_record(record)
+
+
+def outcome_failures(summary: dict) -> list[str]:
+    """Every qualitative-claim failure across the summary's benchmarks."""
+    return [
+        f"{name}: {failure}"
+        for name, entry in sorted(summary["benchmarks"].items())
+        for failure in entry.get("failures", ())
+    ]
+
+
+def toy_outcome() -> BenchOutcome:  # pragma: no cover - convenience only
+    """An empty outcome, handy when stubbing benchmarks in tests."""
+    return BenchOutcome(results=())

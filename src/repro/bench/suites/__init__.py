@@ -1,0 +1,22 @@
+"""Benchmark suite definitions.
+
+Importing this package populates :data:`repro.bench.registry.REGISTRY`
+with the twelve benchmarks ported from the legacy ``benchmarks/bench_*.py``
+scripts (each of which remains as a thin pytest shim over its
+registration here).  Module name == registry name == legacy file suffix.
+"""
+
+from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
+    coin_quality,
+    engines,
+    fig_foresight,
+    fig_logk,
+    fig_resilience,
+    fig_scaling,
+    fig_tail,
+    gvss_stack,
+    link_conditions,
+    messages,
+    stabilization,
+    table1,
+)

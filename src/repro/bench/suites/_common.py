@@ -1,0 +1,45 @@
+"""Shared measurement helpers for the benchmark suites."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.convergence import ClockConvergenceMonitor
+from repro.net.simulator import Simulation
+
+
+def convergence_latencies(
+    factory: Callable[[int], object],
+    *,
+    n: int,
+    f: int,
+    k: int,
+    trials: int,
+    max_beats: int,
+    adversary_factory: Callable[[], object] | None = None,
+    enforce_resilience: bool = True,
+) -> list[int]:
+    """Scrambled-start convergence beat per seed; ``max_beats`` censors
+    non-convergence (the legacy benches' convention)."""
+    latencies = []
+    for seed in range(trials):
+        sim = Simulation(
+            n,
+            f,
+            factory,
+            adversary=adversary_factory() if adversary_factory else None,
+            seed=seed,
+            enforce_resilience=enforce_resilience,
+        )
+        monitor = ClockConvergenceMonitor(k=k)
+        sim.add_monitor(monitor)
+        sim.scramble()
+        sim.run(max_beats)
+        beat = monitor.convergence_beat()
+        latencies.append(beat if beat is not None else max_beats)
+    return latencies
+
+
+def mean_latency(factory, **kwargs) -> float:
+    latencies = convergence_latencies(factory, **kwargs)
+    return sum(latencies) / len(latencies)

@@ -1,0 +1,156 @@
+"""Engine micro-benchmark: beats/sec of ReferenceEngine vs FastEngine.
+
+Times the full ss-Byz-Clock-Sync stack (k=8, oracle coin, scrambled
+start, fault-free) on both engines across a size matrix and reports
+beats/sec.  Wall-clock numbers are hardware-noisy, so every metric here
+is ``gated=False``; the regression guard is the benchmark's own relative
+check — the fast engine must beat ``min_speedup_each`` at every size and
+``min_speedup_at_largest`` at the largest (the Θ(n²)-copy elimination
+must pay off at scale).  The smoke tier shrinks the matrix to one small
+size and only requires the fast engine to stay within 2x of the
+reference (speedup ≥ 0.5), matching the old ``--smoke`` CI guard.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.registry import Benchmark, register
+from repro.bench.result import BenchOutcome, BenchResult
+
+
+def _build_simulation(n: int, f: int, engine: str, seed: int = 0):
+    from repro.coin.oracle import OracleCoin
+    from repro.core.clock_sync import SSByzClockSync
+    from repro.net.simulator import Simulation
+
+    simulation = Simulation(
+        n,
+        f,
+        lambda i: SSByzClockSync(8, lambda: OracleCoin()),
+        seed=seed,
+        engine=engine,
+    )
+    simulation.scramble()
+    return simulation
+
+
+def time_engine(
+    n: int, f: int, engine: str, beats: int, repeats: int = 3
+) -> float:
+    """Best-of-``repeats`` beats/sec for one engine at one system size."""
+    best = float("inf")
+    for _ in range(repeats):
+        simulation = _build_simulation(n, f, engine)
+        simulation.run(2)  # warm caches (path interning, inbox buffers)
+        started = time.perf_counter()
+        simulation.run(beats)
+        best = min(best, time.perf_counter() - started)
+    return beats / best
+
+
+def _render(rows: list[dict]) -> str:
+    lines = [
+        f"{'system':<12} | {'reference b/s':>13} | {'fast b/s':>10} | speedup",
+        "-" * 54,
+    ]
+    for row in rows:
+        lines.append(
+            f"n={row['n']:<3} f={row['f']:<3}  | "
+            f"{row['reference_beats_per_sec']:>13.1f} | "
+            f"{row['fast_beats_per_sec']:>10.1f} | "
+            f"{row['speedup']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def run(
+    sizes=((4, 1, 200), (16, 5, 50), (64, 21, 10)),
+    repeats: int = 3,
+    min_speedup_each: float = 0.9,
+    min_speedup_at_largest: float = 2.0,
+) -> BenchOutcome:
+    rows = []
+    for n, f, beats in sizes:
+        reference = time_engine(n, f, "reference", beats, repeats)
+        fast = time_engine(n, f, "fast", beats, repeats)
+        rows.append(
+            {
+                "n": n,
+                "f": f,
+                "beats_timed": beats,
+                "reference_beats_per_sec": reference,
+                "fast_beats_per_sec": fast,
+                "speedup": fast / reference,
+            }
+        )
+    results = []
+    for row in rows:
+        for engine in ("reference", "fast"):
+            results.append(
+                BenchResult(
+                    benchmark="engines",
+                    metric="beats_per_sec",
+                    value=row[f"{engine}_beats_per_sec"],
+                    unit="beats/s",
+                    scenario={"engine": engine, "n": row["n"], "f": row["f"]},
+                    direction="higher",
+                    gated=False,  # wall-clock: too noisy for CI gating
+                )
+            )
+        results.append(
+            BenchResult(
+                benchmark="engines",
+                metric="speedup",
+                value=row["speedup"],
+                unit="x",
+                scenario={"n": row["n"], "f": row["f"]},
+                direction="higher",
+                gated=False,
+            )
+        )
+    failures = []
+    for row in rows:
+        if row["speedup"] <= min_speedup_each:
+            failures.append(
+                f"fast engine lost at n={row['n']}: speedup "
+                f"{row['speedup']:.2f}x <= {min_speedup_each}x"
+            )
+    largest = max(rows, key=lambda row: row["n"])
+    if largest["speedup"] < min_speedup_at_largest:
+        failures.append(
+            f"fast engine below {min_speedup_at_largest}x at "
+            f"n={largest['n']}: {largest['speedup']:.2f}x"
+        )
+    return BenchOutcome(
+        results=tuple(results),
+        failures=tuple(failures),
+        tables=(("engines", _render(rows)),),
+    )
+
+
+register(
+    Benchmark(
+        name="engines",
+        tier="smoke",
+        runner=run,
+        params={
+            "sizes": ((4, 1, 200), (16, 5, 50), (64, 21, 10)),
+            "repeats": 3,
+            "min_speedup_each": 0.9,
+            "min_speedup_at_largest": 2.0,
+        },
+        tier_params={
+            "smoke": {
+                "sizes": ((7, 2, 200),),
+                "repeats": 1,
+                # The old --smoke guard: fast within 2x of reference.
+                "min_speedup_each": 0.5,
+                "min_speedup_at_largest": 0.5,
+            },
+        },
+        description="beats/sec of ReferenceEngine vs FastEngine "
+                    "across system sizes",
+        source="benchmarks/bench_engines.py",
+    )
+)

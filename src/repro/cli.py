@@ -8,6 +8,8 @@ Commands:
 * ``coin`` — stream the self-stabilizing coin and report agreement stats;
 * ``campaign`` — fan a scenario grid out across worker processes and
   stream aggregated per-scenario results;
+* ``bench`` — the unified benchmark subsystem (``list``, ``run``,
+  ``compare``, ``gate``; see :mod:`repro.bench.cli`);
 * ``adversaries`` — list the built-in Byzantine strategies;
 * ``links`` — list the built-in link-condition models.
 
@@ -194,6 +196,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", default=None,
         help="also write aggregated results to this JSON file",
     )
+
+    from repro.bench.cli import configure_parser as configure_bench_parser
+
+    configure_bench_parser(commands)
 
     commands.add_parser("adversaries", help="list built-in Byzantine strategies")
     commands.add_parser("links", help="list built-in link-condition models")
@@ -398,12 +404,19 @@ def _cmd_links(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import handle
+
+    return handle(args)
+
+
 _HANDLERS = {
     "run": _cmd_demo,
     "demo": _cmd_demo,
     "table1": _cmd_table1,
     "coin": _cmd_coin,
     "campaign": _cmd_campaign,
+    "bench": _cmd_bench,
     "adversaries": _cmd_adversaries,
     "links": _cmd_links,
 }

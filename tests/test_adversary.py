@@ -155,7 +155,7 @@ class TestAntiCoin:
         messages = [Envelope(i, 3, "root", 0, 0) for i in range(3)]
         view = make_view(messages=messages, beat=5)
         adversary.craft_messages(view)
-        resolved = view.coin_outcomes()
+        view.coin_outcomes()
         # The foresight query resolved beat 6's outcome eagerly.
         assert ("root/coin/slot1", 6) in view._env._outcomes
 

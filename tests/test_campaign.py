@@ -9,7 +9,6 @@ import pytest
 from repro.analysis.campaign import (
     ADVERSARY_REGISTRY,
     PROTOCOL_REGISTRY,
-    CampaignEntry,
     ScenarioSpec,
     campaign_to_json,
     iter_campaign,

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.errors import ProtocolViolationError
-from repro.net.component import BeatContext, Component
+from repro.net.component import Component
 from repro.net.environment import Environment
 from repro.net.node import Node
 
