@@ -1,0 +1,30 @@
+"""Live-runtime throughput: beats/sec and messages/sec on LocalTransport.
+
+Thin pytest shim over the ``runtime_throughput`` registration in the
+benchmark registry — the experiment's full definition (measurement,
+metrics, qualitative checks) lives in
+``src/repro/bench/suites/runtime_throughput.py``.  Running this file
+executes the benchmark at the full tier and regenerates its blocks under
+``benchmarks/results/``.
+
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only runtime_throughput
+"""
+
+from __future__ import annotations
+
+
+def test_runtime_throughput(run_registered):
+    run_registered("runtime_throughput")
+
+
+if __name__ == "__main__":  # standalone entry point, matching its siblings
+    import sys
+
+    from repro.cli import main
+
+    args = ["bench", "run", "--only", "runtime_throughput"]
+    if "--smoke" in sys.argv[1:]:
+        args += ["--tier", "smoke"]
+    sys.exit(main(args))

@@ -6,7 +6,10 @@ ss-Byz-Clock-Sync algorithms, the common-coin substrate they assume
 (GVSS-based Feldman-Micali-style coin plus an ideal Definition-2.6 oracle
 coin), the global-beat-system simulator they run on, the Byzantine and
 transient fault models, the deterministic and randomized comparators of
-the paper's Table 1, and the analysis harness that regenerates it.
+the paper's Table 1, the analysis harness that regenerates it — and a
+live async runtime (:mod:`repro.runtime`) that runs the same protocol
+stack as concurrent tasks over real transports, differentially pinned
+bit-identical to the simulator.
 
 Quickstart::
 
@@ -47,8 +50,16 @@ from repro.net.linkmodel import (
     normalize_link_params,
 )
 from repro.net.simulator import Simulation
+from repro.runtime import (
+    TRANSPORTS,
+    LocalTransport,
+    RuntimeResult,
+    TcpTransport,
+    Transport,
+    run_runtime,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Adversary",
@@ -60,23 +71,29 @@ __all__ = [
     "LINK_MODELS",
     "LinkModel",
     "LocalCoin",
+    "LocalTransport",
     "LossyLinks",
     "OracleCoin",
     "PartitionLinks",
     "PerfectLinks",
     "RecursiveDoublingClock",
     "ReproError",
+    "RuntimeResult",
     "SSByz2Clock",
     "SSByz4Clock",
     "SSByzClockSync",
     "ScenarioSpec",
     "Simulation",
+    "TRANSPORTS",
+    "TcpTransport",
+    "Transport",
     "TrialConfig",
     "TrialResult",
     "coin_by_name",
     "make_link",
     "normalize_link_params",
     "run_campaign",
+    "run_runtime",
     "run_trial",
     "scenario_grid",
     "synchronize",

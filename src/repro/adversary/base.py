@@ -12,6 +12,13 @@ Faulty nodes have no :class:`~repro.net.node.Node` object; an
 :class:`Adversary` speaks for all of them at once through
 :meth:`craft_messages`, which is strictly more powerful than running
 corrupted per-node code.
+
+Strategies run unchanged in both execution worlds: the lock-step
+simulator invokes them as a phase of the beat loop
+(:func:`repro.net.engine._craft_byzantine`), and the live runtime wraps
+them in a real misbehaving peer
+(:class:`repro.runtime.byzantine.ByzantineProcess`) that receives the
+same legal view over actual transports.
 """
 
 from __future__ import annotations

@@ -1,9 +1,10 @@
 """Benchmark suite definitions.
 
-Importing this package populates :data:`repro.bench.registry.REGISTRY`
-with the twelve benchmarks ported from the legacy ``benchmarks/bench_*.py``
-scripts (each of which remains as a thin pytest shim over its
-registration here).  Module name == registry name == legacy file suffix.
+Importing this package populates :data:`repro.bench.registry.REGISTRY`:
+the twelve benchmarks ported from the legacy ``benchmarks/bench_*.py``
+scripts plus the live-runtime throughput benchmark (every registration
+has a thin pytest shim under ``benchmarks/``).  Module name == registry
+name == shim file suffix.
 """
 
 from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
@@ -17,6 +18,7 @@ from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
     gvss_stack,
     link_conditions,
     messages,
+    runtime_throughput,
     stabilization,
     table1,
 )

@@ -1,0 +1,139 @@
+"""Live-runtime throughput: beats/sec and messages/sec over LocalTransport.
+
+Times :func:`~repro.runtime.runner.run_runtime` driving the full
+ss-Byz-Clock-Sync stack (oracle coin, scrambled start, fault-free) as
+concurrent asyncio tasks with in-process queue delivery, across a size
+matrix.  This is the runtime analogue of the ``engines`` micro-benchmark:
+it prices the round barrier, the wire codec and the per-envelope
+delivery against the lock-step simulator's batch beats.
+
+Wall-clock numbers are hardware-noisy, so every metric is ``gated=False``;
+the benchmark's own qualitative check is a *correctness* guard instead:
+zero-delay local delivery must never time a barrier out nor drop a late
+message — if it does, the runtime's determinism contract (bit-identity
+with the simulator) is broken and the run fails loudly here before the
+differential suite even gets a say.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import Benchmark, register
+from repro.bench.result import BenchOutcome, BenchResult
+
+
+def _run_once(n: int, f: int, beats: int, seed: int):
+    from repro.coin.oracle import OracleCoin
+    from repro.core.clock_sync import SSByzClockSync
+    from repro.runtime import run_runtime
+
+    return run_runtime(
+        n,
+        f,
+        lambda _node_id: SSByzClockSync(8, lambda: OracleCoin()),
+        seed=seed,
+        beats=beats,
+        transport="local",
+        k=8,
+    )
+
+
+def _render(rows: list[dict]) -> str:
+    lines = [
+        f"{'system':<12} | {'beats/s':>9} | {'msgs/s':>10} | messages",
+        "-" * 52,
+    ]
+    for row in rows:
+        lines.append(
+            f"n={row['n']:<3} f={row['f']:<3}  | "
+            f"{row['beats_per_sec']:>9.1f} | "
+            f"{row['messages_per_sec']:>10.0f} | "
+            f"{row['messages_sent']}"
+        )
+    return "\n".join(lines)
+
+
+def run(
+    sizes=((4, 1), (8, 2), (16, 5)),
+    beats: int = 40,
+    repeats: int = 3,
+    seed: int = 0,
+) -> BenchOutcome:
+    rows = []
+    failures = []
+    for n, f in sizes:
+        best = None
+        for _ in range(repeats):
+            result = _run_once(n, f, beats, seed)
+            if result.barrier_timeouts or result.late_messages:
+                failures.append(
+                    f"zero-delay local runtime at n={n} saw "
+                    f"{result.barrier_timeouts} barrier timeouts / "
+                    f"{result.late_messages} late messages — the "
+                    "determinism contract is broken"
+                )
+            if best is None or result.elapsed_s < best.elapsed_s:
+                best = result
+        rows.append(
+            {
+                "n": n,
+                "f": f,
+                "beats_timed": beats,
+                "beats_per_sec": best.beats_per_sec,
+                "messages_per_sec": best.messages_per_sec,
+                "messages_sent": best.messages_sent,
+            }
+        )
+    results = []
+    for row in rows:
+        scenario = {"transport": "local", "n": row["n"], "f": row["f"]}
+        results.append(
+            BenchResult(
+                benchmark="runtime_throughput",
+                metric="beats_per_sec",
+                value=row["beats_per_sec"],
+                unit="beats/s",
+                scenario=scenario,
+                direction="higher",
+                gated=False,  # wall-clock: too noisy for CI gating
+            )
+        )
+        results.append(
+            BenchResult(
+                benchmark="runtime_throughput",
+                metric="messages_per_sec",
+                value=row["messages_per_sec"],
+                unit="msgs/s",
+                scenario=scenario,
+                direction="higher",
+                gated=False,
+            )
+        )
+    return BenchOutcome(
+        results=tuple(results),
+        failures=tuple(failures),
+        tables=(("runtime_throughput", _render(rows)),),
+    )
+
+
+register(
+    Benchmark(
+        name="runtime_throughput",
+        tier="smoke",
+        runner=run,
+        params={
+            "sizes": ((4, 1), (8, 2), (16, 5)),
+            "beats": 40,
+            "repeats": 3,
+        },
+        tier_params={
+            "smoke": {
+                "sizes": ((4, 1), (8, 2)),
+                "beats": 15,
+                "repeats": 1,
+            },
+        },
+        description="live-runtime beats/sec and messages/sec on "
+                    "LocalTransport across system sizes",
+        source="benchmarks/bench_runtime_throughput.py",
+    )
+)

@@ -8,10 +8,15 @@ Commands:
 * ``coin`` — stream the self-stabilizing coin and report agreement stats;
 * ``campaign`` — fan a scenario grid out across worker processes and
   stream aggregated per-scenario results;
+* ``runtime`` — run the protocol as a *live* concurrent system: asyncio
+  node tasks over a real transport (in-process queues or TCP loopback),
+  optional JSONL trace output (see :mod:`repro.runtime`);
 * ``bench`` — the unified benchmark subsystem (``list``, ``run``,
   ``compare``, ``gate``; see :mod:`repro.bench.cli`);
 * ``adversaries`` — list the built-in Byzantine strategies;
-* ``links`` — list the built-in link-condition models.
+* ``links`` — list the built-in link-condition models;
+* ``engines`` — list the built-in simulation engines;
+* ``transports`` — list the built-in runtime transports.
 
 ``run`` and ``campaign`` accept ``--link`` (with ``--link-param k=v``) to
 degrade the network: bounded delay, omission loss, or scheduled
@@ -42,9 +47,10 @@ from repro.analysis.campaign import (
 )
 from repro.core.pipeline import CoinFlipPipeline
 from repro.errors import ConfigurationError
-from repro.net.engine import ENGINES
+from repro.net.engine import DEFAULT_ENGINE, ENGINES
 from repro.net.linkmodel import LINK_MODELS
 from repro.net.simulator import Simulation
+from repro.runtime import DEFAULT_TRANSPORT, TRANSPORTS, run_runtime
 
 __all__ = ["ADVERSARIES", "main"]
 
@@ -136,6 +142,41 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seeds", type=int, default=5)
     table1.add_argument("--beats", type=int, default=400)
 
+    runtime = commands.add_parser(
+        "runtime",
+        help="run the protocol live: concurrent node tasks over a transport",
+    )
+    runtime.add_argument("--n", type=int, default=4, help="number of nodes")
+    runtime.add_argument(
+        "--f", type=int, default=1, help="fault parameter (f < n/3)"
+    )
+    runtime.add_argument("--k", type=int, default=8, help="clock modulus")
+    runtime.add_argument(
+        "--coin", default="oracle", choices=["oracle", "gvss", "local"]
+    )
+    runtime.add_argument(
+        "--adversary", default="none", choices=sorted(ADVERSARIES),
+        help="Byzantine strategy run as a live misbehaving peer",
+    )
+    runtime.add_argument("--seed", type=int, default=0)
+    runtime.add_argument(
+        "--beats", type=int, default=60, help="run duration, in beats"
+    )
+    runtime.add_argument(
+        "--transport", default=DEFAULT_TRANSPORT, choices=sorted(TRANSPORTS),
+        help="message plane: in-process queues or TCP loopback sockets",
+    )
+    runtime.add_argument(
+        "--beat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="round-barrier timeout per beat (late peers are not waited "
+             "for beyond this)",
+    )
+    runtime.add_argument(
+        "--trace", dest="trace_path", default=None, metavar="FILE",
+        help="write the per-beat clock trajectory as JSONL",
+    )
+    runtime.add_argument("--show", type=int, default=12, help="beats to print")
+
     coin = commands.add_parser("coin", help="stream the self-stabilizing coin")
     coin.add_argument("--n", type=int, default=4)
     coin.add_argument("--f", type=int, default=1)
@@ -203,6 +244,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("adversaries", help="list built-in Byzantine strategies")
     commands.add_parser("links", help="list built-in link-condition models")
+    commands.add_parser("engines", help="list built-in simulation engines")
+    commands.add_parser("transports", help="list built-in runtime transports")
     return parser
 
 
@@ -245,6 +288,60 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         return 1
     print(f"converged at beat {result.converged_beat} "
           f"({result.total_messages} messages total{casualties})")
+    return 0
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.core.clock_sync import SSByzClockSync
+
+    coin_factory = coin_by_name(args.coin, args.n, args.f)
+    try:
+        result = run_runtime(
+            args.n,
+            args.f,
+            lambda _node_id: SSByzClockSync(args.k, coin_factory),
+            adversary=ADVERSARIES[args.adversary](),
+            seed=args.seed,
+            beats=args.beats,
+            transport=args.transport,
+            k=args.k,
+            beat_timeout=args.beat_timeout,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"live ss-Byz-Clock-Sync n={args.n} f={args.f} k={args.k} "
+        f"coin={args.coin} adversary={args.adversary} seed={args.seed} "
+        f"transport={result.transport}"
+    )
+    for record in result.records[: args.show]:
+        cells = " ".join(
+            f"{record.values[i]:>4}" if record.values[i] is not None else "   ⊥"
+            for i in sorted(record.values)
+        )
+        print(f"  beat {record.beat:>3} | {cells}")
+    if args.trace_path:
+        with open(args.trace_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_jsonl())
+        print(f"wrote {len(result.records)}-beat trace to {args.trace_path}")
+    casualties = ""
+    if result.late_messages or result.barrier_timeouts:
+        casualties = (
+            f", {result.late_messages} late messages dropped / "
+            f"{result.barrier_timeouts} barrier timeouts"
+        )
+    rate = (
+        f"{result.beats_per_sec:.0f} beats/s, "
+        f"{result.messages_per_sec:.0f} msgs/s"
+    )
+    if result.converged_beat is None:
+        print(f"did not converge within {args.beats} beats ({rate}{casualties})")
+        return 1
+    print(
+        f"converged at beat {result.converged_beat} "
+        f"({result.messages_sent} messages, {rate}{casualties})"
+    )
     return 0
 
 
@@ -404,6 +501,22 @@ def _cmd_links(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    for name, engine_cls in sorted(ENGINES.items()):
+        doc = (engine_cls.__doc__ or "").strip().splitlines()[0]
+        marker = "  (default)" if name == DEFAULT_ENGINE else ""
+        print(f"  {name:<12} {doc}{marker}")
+    return 0
+
+
+def _cmd_transports(_args: argparse.Namespace) -> int:
+    for name, transport_cls in sorted(TRANSPORTS.items()):
+        doc = (transport_cls.__doc__ or "").strip().splitlines()[0]
+        marker = "  (default)" if name == DEFAULT_TRANSPORT else ""
+        print(f"  {name:<12} {doc}{marker}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.cli import handle
 
@@ -416,9 +529,12 @@ _HANDLERS = {
     "table1": _cmd_table1,
     "coin": _cmd_coin,
     "campaign": _cmd_campaign,
+    "runtime": _cmd_runtime,
     "bench": _cmd_bench,
     "adversaries": _cmd_adversaries,
     "links": _cmd_links,
+    "engines": _cmd_engines,
+    "transports": _cmd_transports,
 }
 
 

@@ -91,7 +91,14 @@ class SSByzClockSync(Component):
 
     @property
     def clock_value(self) -> int:
-        """Uniform probe interface shared by every clock component."""
+        """Uniform probe interface shared by every clock component.
+
+        Everything that observes a run — convergence monitors, tracers,
+        and the live runtime's default probe
+        (:func:`repro.runtime.runner.run_runtime`) — reads this one
+        property, which is what lets simulated and live trajectories be
+        compared record-for-record.
+        """
         return self.full_clock
 
     # -- helpers over the previous beat's inbox --------------------------------

@@ -32,6 +32,20 @@ class DecodingError(ReproError):
     """Reed-Solomon decoding failed (more errors than the code tolerates)."""
 
 
+class WireError(ReproError):
+    """A runtime wire frame could not be encoded or decoded.
+
+    On the receive side these are expected under Byzantine peers (arbitrary
+    bytes cross the trust boundary); receivers count and drop them.  On the
+    send side they indicate a payload outside the wire-safe domain, which
+    is a library bug.
+    """
+
+
+class TransportError(ReproError):
+    """A runtime transport could not deliver or set up as configured."""
+
+
 def check_resilience(n: int, f: int) -> None:
     """Validate the paper's standing assumptions: ``n >= 1`` and ``f < n/3``.
 

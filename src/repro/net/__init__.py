@@ -33,7 +33,12 @@ from repro.net.network import MessageStats, Router
 from repro.net.node import Node
 from repro.net.rng import SeedSequence, derive_seed
 from repro.net.simulator import Monitor, Simulation
-from repro.net.trace import BeatRecord, Tracer
+from repro.net.trace import (
+    BeatRecord,
+    Tracer,
+    records_from_jsonl,
+    records_to_jsonl,
+)
 
 __all__ = [
     "BROADCAST",
@@ -73,4 +78,6 @@ __all__ = [
     "Tracer",
     "UPDATE",
     "derive_seed",
+    "records_from_jsonl",
+    "records_to_jsonl",
 ]

@@ -1,19 +1,35 @@
-"""Lightweight structured tracing for simulations.
+"""Lightweight structured tracing for simulations and live runs.
 
 A :class:`Tracer` is a monitor that snapshots a user-supplied probe at every
 beat; examples use it to print per-beat clock tables, and tests use it to
 assert whole-run trajectories (e.g. Lemma 6's closure pattern).
+
+Traces also have one on-disk format — JSONL, one :class:`BeatRecord` per
+line — shared between the lock-step simulator and the live runtime
+(:mod:`repro.runtime`), which is what lets the differential harness compare
+a simulated and a live run of the same seed byte-for-byte, and lets
+``python -m repro runtime --trace`` write files any trace tooling can read
+back with :func:`records_from_jsonl`.  Probe values must be JSON scalars
+(the clock probes emit ``int`` or ``None``); richer probes need their own
+serialization.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.simulator import Simulation
 
-__all__ = ["BeatRecord", "Tracer", "format_clock_row"]
+__all__ = [
+    "BeatRecord",
+    "Tracer",
+    "format_clock_row",
+    "records_from_jsonl",
+    "records_to_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -22,6 +38,35 @@ class BeatRecord:
 
     beat: int
     values: dict[int, Any]
+
+    def to_jsonl(self) -> str:
+        """This record as one JSONL line (no trailing newline).
+
+        Node ids become string keys (JSON objects demand it), emitted in
+        ascending id order so equal records serialize to equal bytes.
+        """
+        return json.dumps(
+            {
+                "beat": self.beat,
+                "values": {
+                    str(node_id): self.values[node_id]
+                    for node_id in sorted(self.values)
+                },
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_jsonl(cls, line: str) -> "BeatRecord":
+        """Parse one JSONL line back into a record (int node ids)."""
+        record = json.loads(line)
+        return cls(
+            beat=int(record["beat"]),
+            values={
+                int(node_id): value
+                for node_id, value in record["values"].items()
+            },
+        )
 
 
 class Tracer:
@@ -50,6 +95,24 @@ class Tracer:
     def series(self, node_id: int) -> list[Any]:
         """The probe's trajectory at one node."""
         return [record.values[node_id] for record in self.records]
+
+    def to_jsonl(self) -> str:
+        """The whole trace in the shared JSONL format."""
+        return records_to_jsonl(self.records)
+
+
+def records_to_jsonl(records: Iterable[BeatRecord]) -> str:
+    """Serialize records to JSONL: one line per beat, trailing newline."""
+    return "".join(record.to_jsonl() + "\n" for record in records)
+
+
+def records_from_jsonl(text: str) -> list[BeatRecord]:
+    """Parse a JSONL trace (blank lines ignored) back into records."""
+    return [
+        BeatRecord.from_jsonl(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]
 
 
 def format_clock_row(record: BeatRecord, faulty_ids: frozenset[int]) -> str:

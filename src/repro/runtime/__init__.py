@@ -1,0 +1,78 @@
+"""Live async runtime: the protocol as a real concurrent networked system.
+
+Everything else in this repository executes inside a single-process
+lock-step beat loop; this package *runs* the protocol — every node an
+asyncio task, every message a wire frame over a pluggable transport, the
+synchronous-round abstraction rebuilt from bounded-delay delivery by a
+per-node round barrier, and Byzantine behaviour injected by a real
+misbehaving peer.
+
+Layers (bottom up):
+
+* :mod:`~repro.runtime.wire` — JSON wire codec for
+  :class:`~repro.net.message.Envelope` traffic (msg / end-marker / hello
+  frames; Byzantine-safe, no pickle);
+* :mod:`~repro.runtime.transport` — the :class:`Transport` seam:
+  :class:`LocalTransport` (in-process queues, deterministic when seeded)
+  and :class:`TcpTransport` (length-prefixed frames, one listener per
+  node);
+* :mod:`~repro.runtime.sync` — :class:`BeatSynchronizer`, the round
+  barrier (per-beat tagging, late messages counted and dropped);
+* :mod:`~repro.runtime.node` / :mod:`~repro.runtime.byzantine` —
+  :class:`RuntimeNode` drives the existing :mod:`repro.core` component
+  tower unchanged; :class:`ByzantineProcess` speaks for the faulty ids
+  with the existing :mod:`repro.adversary` strategies;
+* :mod:`~repro.runtime.runner` — :func:`run_runtime` builds a run with
+  the simulator's exact seed discipline and reports the trajectory.
+
+Determinism contract: a zero-delay :class:`LocalTransport` run reproduces
+the lock-step simulator's per-beat honest clock trajectories bit-for-bit
+(seeds 0-9, with and without an adversary —
+``tests/test_runtime_differential.py``), the same identity-proof
+discipline the engine and link-model seams carry.
+"""
+
+from repro.runtime.byzantine import ByzantineProcess
+from repro.runtime.node import RuntimeNode
+from repro.runtime.runner import RuntimeResult, run_runtime
+from repro.runtime.sync import BeatSynchronizer
+from repro.runtime.transport import (
+    DEFAULT_TRANSPORT,
+    TRANSPORTS,
+    Endpoint,
+    LocalTransport,
+    TcpTransport,
+    Transport,
+    resolve_transport,
+)
+from repro.runtime.wire import (
+    END,
+    HELLO,
+    MSG,
+    Frame,
+    decode_frame,
+    encode_frame,
+    frame_for_envelope,
+)
+
+__all__ = [
+    "ByzantineProcess",
+    "BeatSynchronizer",
+    "DEFAULT_TRANSPORT",
+    "END",
+    "Endpoint",
+    "Frame",
+    "HELLO",
+    "LocalTransport",
+    "MSG",
+    "RuntimeNode",
+    "RuntimeResult",
+    "TRANSPORTS",
+    "TcpTransport",
+    "Transport",
+    "decode_frame",
+    "encode_frame",
+    "frame_for_envelope",
+    "resolve_transport",
+    "run_runtime",
+]

@@ -1,0 +1,148 @@
+"""Byzantine behaviour as a live peer.
+
+In the simulator the adversary is a phase of the beat loop; in the runtime
+it is a *process*: :class:`ByzantineProcess` owns every faulty id's
+transport endpoint and speaks for all of them at once, reusing the
+:mod:`repro.adversary` strategy objects and payload machinery unchanged.
+
+The rushing power survives the move to a live network because the process
+participates in the round barrier asymmetrically: it waits until every
+*honest* peer has closed its send phase for beat ``b`` (their ``end``
+markers arrived at the faulty endpoints), inspects everything addressed to
+faulty ids — which includes every honest broadcast — crafts the beat's
+faulty traffic, sends it, and only *then* emits the faulty ids' own
+markers.  Honest barriers wait for those markers, so the crafted messages
+always land inside beat ``b``: same-beat rushing, exactly the §6.1 power
+the lock-step adversary phase grants.
+
+Determinism note: the visible set is canonically ordered by ``(sender,
+emission seq, faulty receiver)`` before the strategy sees it, which is the
+same order the simulation engines build their adversary view in — one of
+the two facts (with keyed coin outcomes) that make zero-delay runtime runs
+bit-identical to the simulator even under an adversary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.network import ensure_faulty_senders
+from repro.runtime.sync import BeatSynchronizer
+from repro.runtime.transport import Endpoint
+from repro.runtime.wire import END, Frame, encode_frame, frame_for_envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    from repro.adversary.base import Adversary
+    from repro.net.environment import Environment
+
+__all__ = ["ByzantineProcess"]
+
+
+class ByzantineProcess:
+    """One task speaking for every faulty node over real endpoints.
+
+    Args:
+        adversary: an already-``setup()`` strategy object (the runner
+            replicates the simulator's selection/setup sequence so the
+            shared RNG stream stays aligned with lock-step runs).
+        endpoints: one transport endpoint per faulty id.
+        n, f: system sizes.
+        env: the shared environment (coin outcomes, rushing channel).
+        rng: the adversary's RNG stream.
+        beat_timeout: barrier timeout per faulty endpoint; ``None`` waits
+            forever (safe only when every honest peer is live).
+    """
+
+    def __init__(
+        self,
+        adversary: "Adversary",
+        endpoints: dict[int, Endpoint],
+        *,
+        n: int,
+        f: int,
+        env: "Environment",
+        rng: "random.Random",
+        beat_timeout: "float | None" = None,
+    ) -> None:
+        self.adversary = adversary
+        self.endpoints = dict(sorted(endpoints.items()))
+        self.n = n
+        self.f = f
+        self.env = env
+        self.rng = rng
+        self.faulty_ids = frozenset(self.endpoints)
+        self.honest_ids = [i for i in range(n) if i not in self.faulty_ids]
+        self.messages_sent = 0
+        self.dead_letters = 0
+        # One barrier per faulty endpoint, each closed by the honest
+        # markers alone: the faulty ids' own markers are this process's
+        # output, and other faulty traffic is never part of the legal view.
+        self._synchronizers = {
+            node_id: BeatSynchronizer(
+                endpoint, self.honest_ids, beat_timeout=beat_timeout
+            )
+            for node_id, endpoint in self.endpoints.items()
+        }
+
+    @property
+    def late_messages(self) -> int:
+        return sum(s.late_messages for s in self._synchronizers.values())
+
+    @property
+    def premature_messages(self) -> int:
+        return sum(s.premature_messages for s in self._synchronizers.values())
+
+    @property
+    def barrier_timeouts(self) -> int:
+        return sum(s.barrier_timeouts for s in self._synchronizers.values())
+
+    async def run(self, beats: int) -> None:
+        """Participate in ``beats`` consecutive beats."""
+        from repro.adversary.base import AdversaryView
+
+        for beat in range(beats):
+            entries = []
+            for node_id, synchronizer in self._synchronizers.items():
+                entries.extend(await synchronizer.collect_entries(beat))
+            # Canonical visible order: (sender, seq) from the wire key,
+            # then faulty receiver — the engines' view-building order.
+            entries.sort(key=lambda entry: (entry[0], entry[1].receiver))
+            visible = [
+                envelope
+                for _key, envelope in entries
+                if envelope.sender not in self.faulty_ids
+            ]
+            view = AdversaryView(
+                beat=beat,
+                n=self.n,
+                f=self.f,
+                faulty_ids=self.faulty_ids,
+                visible_messages=visible,
+                env=self.env,
+                rng=self.rng,
+            )
+            crafted = ensure_faulty_senders(
+                self.faulty_ids, list(self.adversary.craft_messages(view))
+            )
+            for seq, envelope in enumerate(crafted):
+                if (
+                    envelope.receiver in self.faulty_ids
+                    or envelope.receiver not in range(self.n)
+                ):
+                    # Faulty-to-faulty traffic is a dead letter in the
+                    # simulator too: it exists only in the adversary's head.
+                    self.dead_letters += 1
+                    continue
+                data = encode_frame(frame_for_envelope(envelope, seq))
+                await self.endpoints[envelope.sender].send(
+                    envelope.receiver, data
+                )
+                self.messages_sent += 1
+            for node_id, endpoint in self.endpoints.items():
+                marker = encode_frame(
+                    Frame(kind=END, sender=node_id, beat=beat)
+                )
+                for receiver in self.honest_ids:
+                    await endpoint.send(receiver, marker)

@@ -1,0 +1,73 @@
+"""A live protocol node: one asyncio task driving the component tower.
+
+:class:`RuntimeNode` is the runtime's counterpart of the simulator's
+update loop for one correct node.  It reuses :class:`repro.net.node.Node`
+— and therefore the entire :mod:`repro.core` component tower — unchanged:
+the node still experiences a strict send-phase / update-phase beat; only
+the message plane underneath it is now a real concurrent transport plus a
+:class:`~repro.runtime.sync.BeatSynchronizer` round barrier instead of a
+lock-step engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.node import Node
+from repro.runtime.sync import BeatSynchronizer
+from repro.runtime.transport import Endpoint
+from repro.runtime.wire import END, Frame, encode_frame, frame_for_envelope
+
+__all__ = ["RuntimeNode"]
+
+
+class RuntimeNode:
+    """One correct node running live.
+
+    Per beat: run the tower's send phase, wire every emitted envelope to
+    its receiver (tagged with the beat and a per-sender emission sequence
+    number), emit the beat's ``end`` marker to every peer, await the round
+    barrier, and drive the tower's update phase with the sorted inboxes.
+    ``probe`` is snapshotted after every update phase into :attr:`trace`
+    (beat, value) pairs — the runtime's equivalent of a
+    :class:`~repro.net.trace.Tracer` monitor.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        endpoint: Endpoint,
+        synchronizer: BeatSynchronizer,
+        *,
+        probe: "Callable[[Any], Any] | None" = None,
+    ) -> None:
+        self.node = node
+        self.endpoint = endpoint
+        self.synchronizer = synchronizer
+        self.probe = probe
+        self.trace: list[tuple[int, Any]] = []
+        self.messages_sent = 0
+        self.beats_run = 0
+
+    async def run(self, beats: int) -> None:
+        """Execute ``beats`` consecutive beats."""
+        node = self.node
+        endpoint = self.endpoint
+        all_ids = range(node.n)
+        for _ in range(beats):
+            beat = self.synchronizer.beat
+            envelopes = node.send_phase(beat)
+            for seq, envelope in enumerate(envelopes):
+                data = encode_frame(frame_for_envelope(envelope, seq))
+                await endpoint.send(envelope.receiver, data)
+            self.messages_sent += len(envelopes)
+            marker = encode_frame(
+                Frame(kind=END, sender=node.node_id, beat=beat)
+            )
+            for receiver in all_ids:
+                await endpoint.send(receiver, marker)
+            inboxes = await self.synchronizer.collect(beat)
+            node.update_phase(beat, inboxes)
+            if self.probe is not None:
+                self.trace.append((beat, self.probe(node.root)))
+            self.beats_run += 1

@@ -1,0 +1,269 @@
+"""Build and drive one live run: the runtime's ``Simulation`` counterpart.
+
+:func:`run_runtime` assembles the same objects a
+:class:`~repro.net.simulator.Simulation` would — correct
+:class:`~repro.net.node.Node` towers, the shared
+:class:`~repro.net.environment.Environment`, the adversary — using the
+**identical** :class:`~repro.net.rng.SeedSequence` label derivations
+(``"env"``, ``"adversary"``, ``("node", i)``, ``"faults"``) and the
+identical construction order, then runs them as concurrent asyncio tasks
+over a transport instead of a lock-step beat loop.  That shared seed
+discipline is one half of the runtime determinism contract; the other half
+is the round barrier's canonical ``(sender, seq)`` inbox order
+(:mod:`repro.runtime.sync`).  Together they make a zero-delay
+:class:`~repro.runtime.transport.LocalTransport` run reproduce the
+simulator's per-beat honest clock trajectories bit-for-bit — enforced for
+seeds 0-9, with and without an adversary, by
+``tests/test_runtime_differential.py``.
+
+What deliberately stays *outside* the contract: wall-clock timing, socket
+scheduling and arrival interleavings (normalized away by the barrier's
+sort), and the runtime's message accounting (the simulator counts shared
+fan-outs, the runtime counts wire frames).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.problem import converged_at
+from repro.errors import ConfigurationError, check_resilience
+from repro.net.component import Component
+from repro.net.environment import Environment
+from repro.net.node import Node
+from repro.net.rng import SeedSequence
+from repro.net.trace import BeatRecord, records_to_jsonl
+from repro.runtime.byzantine import ByzantineProcess
+from repro.runtime.node import RuntimeNode
+from repro.runtime.sync import BeatSynchronizer
+from repro.runtime.transport import (
+    DEFAULT_TRANSPORT,
+    Transport,
+    resolve_transport,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - break import cycle, typing only
+    from repro.adversary.base import Adversary
+
+__all__ = ["RuntimeResult", "run_runtime"]
+
+
+def _default_probe(root: Component) -> Any:
+    """Snapshot the tower's clock value (every clock tower exposes one)."""
+    return getattr(root, "clock_value", None)
+
+
+def _history_rows(records: "tuple[BeatRecord, ...]") -> tuple[tuple, ...]:
+    """Per-beat honest values, node-id-sorted — the monitors' shape."""
+    return tuple(
+        tuple(record.values[i] for i in sorted(record.values))
+        for record in records
+    )
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Outcome of one live run.
+
+    ``records`` holds one :class:`~repro.net.trace.BeatRecord` per beat —
+    the honest nodes' probe values — in the same shape a simulator-side
+    :class:`~repro.net.trace.Tracer` produces, so both serialize to the
+    same JSONL trace format.  ``converged_beat`` is computed from the
+    records when ``k`` was supplied (else ``None``), with the simulator's
+    Definition 3.2 semantics.
+    """
+
+    seed: int
+    transport: str
+    beats_run: int
+    records: tuple[BeatRecord, ...] = field(repr=False)
+    converged_beat: "int | None"
+    messages_sent: int
+    late_messages: int
+    premature_messages: int
+    barrier_timeouts: int
+    elapsed_s: float
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_beat is not None
+
+    @property
+    def history(self) -> tuple[tuple, ...]:
+        """Per-beat honest values, node-id-sorted — the monitors' shape."""
+        return _history_rows(self.records)
+
+    def to_jsonl(self) -> str:
+        """The trajectory in the shared JSONL trace format (see
+        :mod:`repro.net.trace`) — byte-identical to what a simulator-side
+        :class:`~repro.net.trace.Tracer` over the same run serializes."""
+        return records_to_jsonl(self.records)
+
+    @property
+    def beats_per_sec(self) -> float:
+        return self.beats_run / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def messages_per_sec(self) -> float:
+        return (
+            self.messages_sent / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        )
+
+
+async def _run_async(
+    transport: Transport,
+    nodes: dict[int, Node],
+    byzantine: "tuple | None",
+    beats: int,
+    beat_timeout: "float | None",
+    probe: Callable[[Component], Any],
+    n: int,
+) -> tuple[list[RuntimeNode], "ByzantineProcess | None"]:
+    runtime_nodes: list[RuntimeNode] = []
+    process: "ByzantineProcess | None" = None
+    try:
+        all_ids = frozenset(range(n))
+        for node_id, node in nodes.items():
+            endpoint = await transport.open(node_id)
+            synchronizer = BeatSynchronizer(
+                endpoint, all_ids, beat_timeout=beat_timeout
+            )
+            runtime_nodes.append(
+                RuntimeNode(node, endpoint, synchronizer, probe=probe)
+            )
+        if byzantine is not None:
+            adversary, faulty_ids, env, rng = byzantine
+            endpoints = {
+                node_id: await transport.open(node_id)
+                for node_id in sorted(faulty_ids)
+            }
+            process = ByzantineProcess(
+                adversary,
+                endpoints,
+                n=n,
+                f=len(faulty_ids),
+                env=env,
+                rng=rng,
+                beat_timeout=beat_timeout,
+            )
+        tasks = [node.run(beats) for node in runtime_nodes]
+        if process is not None:
+            tasks.append(process.run(beats))
+        await asyncio.gather(*tasks)
+    finally:
+        await transport.aclose()
+    return runtime_nodes, process
+
+
+def run_runtime(
+    n: int,
+    f: int,
+    root_factory: Callable[[int], Component],
+    *,
+    adversary: "Adversary | None" = None,
+    seed: int = 0,
+    beats: int = 60,
+    transport: "str | Transport" = DEFAULT_TRANSPORT,
+    k: "int | None" = None,
+    scramble: bool = True,
+    beat_timeout: "float | None" = 30.0,
+    root_path: str = "root",
+    probe: Callable[[Component], Any] = _default_probe,
+) -> RuntimeResult:
+    """Run the protocol live for ``beats`` beats; return the trajectory.
+
+    Mirrors the :class:`~repro.net.simulator.Simulation` constructor's
+    parameters and seed discipline (see the module docstring); ``beats``
+    is the run's duration — there is no early stopping, because no live
+    node can locally know the *global* convergence beat.  ``k`` enables
+    convergence reporting on the collected records.
+    """
+    if beats < 1:
+        raise ConfigurationError(f"need at least one beat, got {beats}")
+    check_resilience(n, f)
+    seeds = SeedSequence(seed)
+    env = Environment(n, seeds.seed_for("env"))
+    adversary_rng = seeds.stream("adversary")
+    byzantine: "tuple | None" = None
+    if adversary is not None:
+        faulty = adversary.select_faulty(n, f, adversary_rng)
+        if len(faulty) > f:
+            raise ConfigurationError(
+                f"adversary corrupted {len(faulty)} nodes, but f={f}"
+            )
+        if any(i not in range(n) for i in faulty):
+            raise ConfigurationError("adversary corrupted unknown node ids")
+        faulty_ids = frozenset(faulty)
+        adversary.setup(n, f, faulty_ids, adversary_rng)
+        env.divergence_chooser = adversary.choose_divergent_outputs
+        if faulty_ids:
+            byzantine = (adversary, faulty_ids, env, adversary_rng)
+    else:
+        faulty_ids = frozenset()
+    honest_ids = [i for i in range(n) if i not in faulty_ids]
+    nodes = {
+        i: Node(
+            i,
+            n,
+            f,
+            root_factory(i),
+            seeds.stream("node", i),
+            env,
+            root_path=root_path,
+        )
+        for i in honest_ids
+    }
+    fault_rng = seeds.stream("faults")
+    if scramble:
+        for node_id in honest_ids:
+            nodes[node_id].scramble(fault_rng)
+
+    transport_obj = resolve_transport(transport)
+    started = time.perf_counter()
+    runtime_nodes, process = asyncio.run(
+        _run_async(
+            transport_obj, nodes, byzantine, beats, beat_timeout, probe, n
+        )
+    )
+    elapsed = time.perf_counter() - started
+
+    records = tuple(
+        BeatRecord(
+            beat,
+            {
+                rn.node.node_id: rn.trace[beat][1]
+                for rn in runtime_nodes
+                if beat < len(rn.trace)
+            },
+        )
+        for beat in range(beats)
+    )
+    converged = (
+        converged_at(_history_rows(records), k) if k is not None else None
+    )
+    messages = sum(rn.messages_sent for rn in runtime_nodes)
+    late = sum(rn.synchronizer.late_messages for rn in runtime_nodes)
+    premature = sum(
+        rn.synchronizer.premature_messages for rn in runtime_nodes
+    )
+    timeouts = sum(rn.synchronizer.barrier_timeouts for rn in runtime_nodes)
+    if process is not None:
+        messages += process.messages_sent
+        late += process.late_messages
+        premature += process.premature_messages
+        timeouts += process.barrier_timeouts
+    return RuntimeResult(
+        seed=seed,
+        transport=transport_obj.name,
+        beats_run=beats,
+        records=records,
+        converged_beat=converged,
+        messages_sent=messages,
+        late_messages=late,
+        premature_messages=premature,
+        barrier_timeouts=timeouts,
+        elapsed_s=elapsed,
+    )

@@ -1,0 +1,160 @@
+"""The round barrier: synchronous beats on top of bounded-delay delivery.
+
+The simulator hands every node the synchronous-round abstraction for free;
+a live network does not.  :class:`BeatSynchronizer` rebuilds it per node:
+
+* every frame is tagged with the beat its sender emitted it at;
+* after its send phase a peer emits an ``end`` marker for the beat; the
+  barrier for beat ``b`` closes when markers for ``b`` from *every*
+  expected peer have arrived — or, if a ``beat_timeout`` is set, when the
+  timeout expires (a peer withholding markers can slow each beat to the
+  timeout, never halt the run);
+* traffic tagged for a *near-future* beat (a faster peer is ahead) is
+  buffered until that beat opens — under FIFO links honest peers drift
+  by less than one full beat, so the buffering horizon
+  (:data:`MAX_LOOKAHEAD` beats) is generous for every correct peer while
+  bounding what a Byzantine peer streaming far-future tags can pin in
+  memory (the same threat model :mod:`repro.runtime.wire` caps frame
+  sizes for); frames beyond the horizon are counted in
+  ``premature_messages`` and dropped;
+* traffic tagged for a *past* beat arrives too late to be delivered
+  without breaking the round abstraction: it is **counted and dropped**
+  (``late_messages``), and never leaks into a later beat's inbox.
+
+At barrier close the beat's traffic is sorted by ``(sender, seq)`` — the
+per-sender emission sequence stamped in the wire frames — and grouped into
+per-path inboxes.  For one sender this reproduces emission order, across
+senders ascending id order: exactly the stable sender sort the simulation
+engines deliver, which is what makes a zero-delay runtime bit-identical to
+the lock-step simulator (``tests/test_runtime_differential.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.runtime.transport import Endpoint
+from repro.runtime.wire import END, MSG, WireError, decode_frame
+
+__all__ = ["MAX_LOOKAHEAD", "BeatSynchronizer"]
+
+#: Buffering horizon, in beats: frames tagged this far past the current
+#: beat are discarded rather than parked.  Honest peers drift by less
+#: than one beat under FIFO links; the slack covers pathological-but-
+#: correct schedules while denying a Byzantine peer unbounded buffers.
+MAX_LOOKAHEAD = 64
+
+#: Sort key + envelope, as buffered per beat.
+Entry = tuple[tuple[int, int], Envelope]
+
+
+class BeatSynchronizer:
+    """Per-node round barrier over one transport endpoint.
+
+    Args:
+        endpoint: the node's transport attachment; the synchronizer is its
+            sole reader.
+        expected: peer ids whose ``end`` markers close each barrier —
+            normally every node id in the system, including this node's
+            own (its loopback marker) and the faulty ids (the Byzantine
+            process emits markers after injecting its traffic, which is
+            what lets a *rushing* adversary act within the beat).
+        beat_timeout: seconds to wait for the barrier before closing it
+            anyway (counted in ``barrier_timeouts``); ``None`` waits
+            forever, which is only safe when every expected peer is
+            guaranteed live (e.g. the differential harness).
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        expected: Iterable[int],
+        *,
+        beat_timeout: "float | None" = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.expected = frozenset(expected)
+        self.beat_timeout = beat_timeout
+        self.beat = 0
+        self.late_messages = 0
+        self.premature_messages = 0
+        self.malformed_frames = 0
+        self.barrier_timeouts = 0
+        self._messages: dict[int, list[Entry]] = {}
+        self._markers: dict[int, set[int]] = {}
+
+    # -- frame intake ------------------------------------------------------
+
+    def note(self, sender: int, data: bytes) -> None:
+        """Classify one received frame (tests may call this directly)."""
+        try:
+            frame = decode_frame(data)
+        except WireError:
+            self.malformed_frames += 1
+            return
+        if frame.beat >= self.beat + MAX_LOOKAHEAD:
+            # Far beyond any correct peer's possible drift: refuse to
+            # buffer (a faulty peer could otherwise pin unbounded memory).
+            self.premature_messages += 1
+            return
+        if frame.kind == END:
+            if frame.beat >= self.beat:
+                self._markers.setdefault(frame.beat, set()).add(sender)
+            return
+        if frame.kind != MSG:
+            return  # hello frames never reach past the transport layer
+        if frame.beat < self.beat:
+            # Tagged for a barrier that already closed: count and drop.
+            self.late_messages += 1
+            return
+        self._messages.setdefault(frame.beat, []).append(
+            ((sender, frame.seq), frame.envelope(sender))
+        )
+
+    # -- the barrier -------------------------------------------------------
+
+    async def collect_entries(self, beat: int) -> list[Entry]:
+        """Close beat ``beat``'s barrier; return its sorted traffic."""
+        if beat != self.beat:
+            raise ConfigurationError(
+                f"barrier for beat {beat} requested, but the synchronizer "
+                f"is at beat {self.beat}; beats close strictly in order"
+            )
+        loop = asyncio.get_running_loop()
+        deadline = (
+            None if self.beat_timeout is None
+            else loop.time() + self.beat_timeout
+        )
+        while not self._markers.get(beat, set()) >= self.expected:
+            if deadline is None:
+                sender, data = await self.endpoint.recv()
+            else:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    self.barrier_timeouts += 1
+                    break
+                try:
+                    sender, data = await asyncio.wait_for(
+                        self.endpoint.recv(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    # asyncio.TimeoutError: distinct from the builtin
+                    # until 3.11, and this package supports 3.10.
+                    self.barrier_timeouts += 1
+                    break
+            self.note(sender, data)
+        self._markers.pop(beat, None)
+        entries = self._messages.pop(beat, [])
+        entries.sort(key=lambda entry: entry[0])
+        self.beat = beat + 1
+        return entries
+
+    async def collect(self, beat: int) -> dict[str, list[Envelope]]:
+        """Close the barrier and return per-path inboxes for the beat."""
+        inboxes: dict[str, list[Envelope]] = {}
+        for _key, envelope in await self.collect_entries(beat):
+            inboxes.setdefault(envelope.path, []).append(envelope)
+        return inboxes

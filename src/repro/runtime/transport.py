@@ -1,0 +1,350 @@
+"""Pluggable transports for the live runtime.
+
+A :class:`Transport` hands out one :class:`Endpoint` per node id; an
+endpoint sends encoded frames to peer ids and receives ``(verified_sender,
+frame_bytes)`` pairs.  Sender identity is bound at the transport layer —
+in-process queue registration for :class:`LocalTransport`, the connection
+hello for :class:`TcpTransport` — never taken from frame contents, which
+realizes Definition 2.2 item 2 (the network does not tamper with sender
+identity) as far as a loopback deployment can.  A production deployment
+would authenticate connections; the seam to replace is exactly this
+module.
+
+Two transports ship:
+
+* :class:`LocalTransport` — in-process ``asyncio`` queues.  With the
+  default zero jitter every ``send`` enqueues synchronously, so per-link
+  FIFO order is exact and the whole runtime is deterministic given the
+  seeds (the differential suite pins it bit-identical to the lock-step
+  simulator).  With ``jitter_s > 0`` each frame's delivery is deferred by
+  a *keyed* draw — ``derive_seed(seed, sender, receiver, counter)``, the
+  same discipline as :mod:`repro.net.linkmodel` — so seeded jittered runs
+  reproduce too; ``fifo=False`` additionally lets frames overtake each
+  other on one link, which is how tests manufacture genuinely late
+  messages for the round barrier to count and drop.
+* :class:`TcpTransport` — real sockets: one listener per node id,
+  length-prefixed frames, lazy outgoing connections opened with a hello
+  preamble.  Peers may live anywhere reachable; the built-in registry
+  covers the in-process loopback case, and a static ``peers`` map covers
+  multi-process deployments.
+
+Concurrency contract: each endpoint is driven by exactly one task (its
+runtime node, or the Byzantine process for faulty endpoints), so sends on
+one endpoint never interleave.  Receiving is queue-buffered and safe to
+await from that same task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Protocol, runtime_checkable
+
+from repro.errors import TransportError, WireError
+from repro.net.rng import derive_seed
+from repro.runtime.wire import (
+    HELLO,
+    Frame,
+    decode_frame,
+    encode_frame,
+    length_prefixed,
+    read_frame,
+)
+
+__all__ = [
+    "DEFAULT_TRANSPORT",
+    "TRANSPORTS",
+    "Endpoint",
+    "LocalTransport",
+    "TcpTransport",
+    "Transport",
+    "resolve_transport",
+]
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """One node's attachment to a transport."""
+
+    node_id: int
+
+    async def send(self, receiver: int, data: bytes) -> None:
+        """Deliver one encoded frame to ``receiver`` (best effort)."""
+        ...
+
+    async def recv(self) -> tuple[int, bytes]:
+        """Next received frame as ``(verified_sender, frame_bytes)``."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Factory of endpoints plus lifecycle management.
+
+    Like engines and link models, a transport instance is single-run:
+    :meth:`open` is called once per node id before the first beat, and
+    :meth:`aclose` tears everything down after the last.
+    """
+
+    name: str
+
+    async def open(self, node_id: int) -> Endpoint:
+        """Register ``node_id`` and return its endpoint."""
+        ...
+
+    async def aclose(self) -> None:
+        """Release sockets, tasks and queues."""
+        ...
+
+
+# -- in-process queues -----------------------------------------------------
+
+
+class _LocalEndpoint:
+    def __init__(self, transport: "LocalTransport", node_id: int) -> None:
+        self.node_id = node_id
+        self._transport = transport
+        self.queue: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue()
+
+    async def send(self, receiver: int, data: bytes) -> None:
+        self._transport._deliver(self.node_id, receiver, data)
+
+    async def recv(self) -> tuple[int, bytes]:
+        return await self.queue.get()
+
+
+class LocalTransport:
+    """In-process queues; deterministic when seeded (see module docstring).
+
+    Args:
+        seed: keys the jitter draws; irrelevant at ``jitter_s=0``.
+        jitter_s: maximum per-frame delivery deferral, in seconds.  Zero
+            (the default) enqueues synchronously.
+        fifo: with jitter, clamp per-link delivery order to emission order
+            (the bounded-delay model's FIFO links).  ``False`` allows
+            overtaking, which manufactures late frames for barrier tests.
+    """
+
+    name = "local"
+
+    def __init__(
+        self, *, seed: int = 0, jitter_s: float = 0.0, fifo: bool = True
+    ) -> None:
+        if jitter_s < 0:
+            raise TransportError(f"jitter_s must be >= 0, got {jitter_s}")
+        self.seed = seed
+        self.jitter_s = jitter_s
+        self.fifo = fifo
+        self.dead_letters = 0
+        self._endpoints: dict[int, _LocalEndpoint] = {}
+        self._link_counters: dict[tuple[int, int], int] = {}
+        self._link_frontier: dict[tuple[int, int], float] = {}
+        self._timers: list[asyncio.TimerHandle] = []
+
+    async def open(self, node_id: int) -> _LocalEndpoint:
+        if node_id in self._endpoints:
+            raise TransportError(f"node id {node_id} is already registered")
+        endpoint = _LocalEndpoint(self, node_id)
+        self._endpoints[node_id] = endpoint
+        return endpoint
+
+    def _deliver(self, sender: int, receiver: int, data: bytes) -> None:
+        endpoint = self._endpoints.get(receiver)
+        if endpoint is None:
+            self.dead_letters += 1
+            return
+        if self.jitter_s <= 0:
+            endpoint.queue.put_nowait((sender, data))
+            return
+        link = (sender, receiver)
+        counter = self._link_counters.get(link, 0)
+        self._link_counters[link] = counter + 1
+        rng = random.Random(derive_seed(self.seed, sender, receiver, counter))
+        delay = rng.random() * self.jitter_s
+        loop = asyncio.get_running_loop()
+        deliver_at = loop.time() + delay
+        if self.fifo:
+            # FIFO links: delivery time never regresses on one link (the
+            # frontier clamp BoundedDelayLinks uses, in the time domain).
+            deliver_at = max(deliver_at, self._link_frontier.get(link, 0.0))
+            self._link_frontier[link] = deliver_at + 1e-9
+        self._timers.append(
+            loop.call_at(deliver_at, endpoint.queue.put_nowait, (sender, data))
+        )
+
+    async def aclose(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self._endpoints.clear()
+
+
+# -- real sockets ----------------------------------------------------------
+
+
+class _TcpEndpoint:
+    def __init__(self, transport: "TcpTransport", node_id: int) -> None:
+        self.node_id = node_id
+        self._transport = transport
+        self.queue: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue()
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+
+    async def send(self, receiver: int, data: bytes) -> None:
+        if receiver == self.node_id:
+            # Loopback is always perfect (the simulator's rule): a node's
+            # copy to itself short-circuits the socket.
+            self.queue.put_nowait((self.node_id, data))
+            return
+        writer = self._writers.get(receiver)
+        if writer is None or writer.is_closing():
+            writer = await self._transport._connect(self.node_id, receiver)
+            self._writers[receiver] = writer
+        writer.write(length_prefixed(data))
+        await writer.drain()
+
+    async def recv(self) -> tuple[int, bytes]:
+        return await self.queue.get()
+
+    async def aclose(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        for writer in self._writers.values():
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+        self._writers.clear()
+
+
+class TcpTransport:
+    """Length-prefixed frames over TCP; one listener per node id.
+
+    Args:
+        host: interface the per-node listeners bind (default loopback).
+        peers: optional static ``{node_id: (host, port)}`` map for peers
+            that live in other processes.  Ids absent from the map are
+            resolved against the in-process registry that :meth:`open`
+            maintains, so single-process loopback runs need no
+            configuration at all.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        peers: "dict[int, tuple[str, int]] | None" = None,
+    ) -> None:
+        self.host = host
+        self.malformed_frames = 0
+        self._static_peers = dict(peers or {})
+        self._addresses: dict[int, tuple[str, int]] = {}
+        self._endpoints: dict[int, _TcpEndpoint] = {}
+        self._servers: list[asyncio.Server] = []
+        self._handler_tasks: set[asyncio.Task] = set()
+
+    def address_of(self, node_id: int) -> tuple[str, int]:
+        """The ``(host, port)`` a peer id listens on."""
+        address = self._static_peers.get(node_id) or self._addresses.get(node_id)
+        if address is None:
+            raise TransportError(
+                f"no address known for node id {node_id}; open() it here "
+                "or supply it in the static peers map"
+            )
+        return address
+
+    async def open(self, node_id: int) -> _TcpEndpoint:
+        if node_id in self._endpoints:
+            raise TransportError(f"node id {node_id} is already registered")
+        endpoint = _TcpEndpoint(self, node_id)
+
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                self._handler_tasks.add(task)
+                task.add_done_callback(self._handler_tasks.discard)
+            try:
+                hello = decode_frame(await read_frame(reader))
+                if hello.kind != HELLO:
+                    return  # protocol violation: drop the connection
+                sender = hello.sender
+                while True:
+                    data = await read_frame(reader)
+                    try:
+                        decode_frame(data)  # reject garbage at the door
+                    except WireError:
+                        self.malformed_frames += 1
+                        continue
+                    endpoint.queue.put_nowait((sender, data))
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                WireError,
+            ):
+                pass  # EOF, reset, or an unresynchronizable stream: drop
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handle, self.host, 0)
+        self._servers.append(server)
+        self._addresses[node_id] = server.sockets[0].getsockname()[:2]
+        self._endpoints[node_id] = endpoint
+        return endpoint
+
+    async def _connect(
+        self, sender: int, receiver: int
+    ) -> asyncio.StreamWriter:
+        host, port = self.address_of(receiver)
+        _reader, writer = await asyncio.open_connection(host, port)
+        writer.write(length_prefixed(encode_frame(Frame(kind=HELLO, sender=sender))))
+        await writer.drain()
+        return writer
+
+    async def aclose(self) -> None:
+        # Close outgoing connections first: every in-process handler then
+        # sees EOF and exits on its own, so the common path never cancels
+        # a task mid-read.
+        for endpoint in self._endpoints.values():
+            await endpoint.aclose()
+        if self._handler_tasks:
+            _done, pending = await asyncio.wait(
+                list(self._handler_tasks), timeout=5.0
+            )
+            for task in pending:  # stragglers (e.g. external peers)
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        self._endpoints.clear()
+
+
+#: Transport registry: name -> zero-argument factory.
+TRANSPORTS: dict[str, type] = {
+    LocalTransport.name: LocalTransport,
+    TcpTransport.name: TcpTransport,
+}
+
+DEFAULT_TRANSPORT = LocalTransport.name
+
+
+def resolve_transport(transport: "str | Transport") -> "Transport":
+    """Turn a transport name or instance into a usable transport object."""
+    if isinstance(transport, str):
+        factory = TRANSPORTS.get(transport)
+        if factory is None:
+            raise TransportError(
+                f"unknown transport {transport!r}; known: {sorted(TRANSPORTS)}"
+            )
+        return factory()
+    if isinstance(transport, Transport):
+        return transport
+    raise TransportError(
+        f"transport must be a name or a Transport instance, got {transport!r}"
+    )

@@ -3,6 +3,7 @@ simulation builders used across the suite."""
 
 from __future__ import annotations
 
+import importlib.util
 import random
 from typing import Any, Callable
 
@@ -11,6 +12,15 @@ from hypothesis import HealthCheck, settings
 
 from repro.coin.interfaces import CoinAlgorithm, CoinInstance, InstanceContext
 from repro.net.environment import Environment
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    # pyproject.toml sets `timeout` for pytest-timeout (CI installs it via
+    # requirements-dev.txt).  In environments without the plugin, register
+    # the option as inert so the suite still runs — without the hung-test
+    # ceiling, but also without an unknown-option warning.
+    if importlib.util.find_spec("pytest_timeout") is None:
+        parser.addini("timeout", "inert fallback: pytest-timeout not installed")
 
 # Keep hypothesis runs brisk: the properties are exercised across many
 # dedicated tests, not by huge example counts in each.

@@ -170,9 +170,83 @@ class TestOtherCommands:
         for name in ADVERSARIES:
             assert name in out
 
+    def test_engines_listing(self, capsys):
+        code = main(["engines"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fast" in out and "reference" in out
+        assert "(default)" in out
+
+    def test_transports_listing(self, capsys):
+        code = main(["transports"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "local" in out and "tcp" in out
+        assert "(default)" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestRuntimeCommand:
+    def test_runtime_converges_and_writes_trace(self, tmp_path, capsys):
+        from repro.net.trace import records_from_jsonl
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "runtime",
+                "--n", "4", "--f", "1", "--k", "6",
+                "--adversary", "equivocator",
+                "--seed", "0", "--beats", "30",
+                "--trace", str(trace_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged at beat" in out
+        assert "transport=local" in out
+        records = records_from_jsonl(trace_path.read_text(encoding="utf-8"))
+        assert [r.beat for r in records] == list(range(30))
+
+    def test_runtime_deterministic(self, capsys):
+        def run_once():
+            code = main(
+                ["runtime", "--n", "4", "--f", "1", "--k", "6",
+                 "--seed", "3", "--beats", "12", "--show", "12"]
+            )
+            out = capsys.readouterr().out
+            assert code in (0, 1)
+            # Strip the wall-clock rate tail; beats are what determinism pins.
+            return [line for line in out.splitlines() if line.startswith("  beat")]
+
+        assert run_once() == run_once()
+
+    def test_runtime_tcp_transport(self, capsys):
+        code = main(
+            ["runtime", "--n", "4", "--f", "1", "--k", "6",
+             "--seed", "0", "--beats", "25", "--transport", "tcp"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transport=tcp" in out
+
+    def test_runtime_bad_sizes_clean_exit(self, capsys):
+        code = main(["runtime", "--n", "3", "--f", "1", "--beats", "5"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_runtime_nonconvergence_exit_code(self, capsys):
+        # Two beats cannot witness convergence-plus-closure from scramble.
+        code = main(
+            ["runtime", "--n", "4", "--f", "1", "--k", "6",
+             "--seed", "0", "--beats", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "did not converge" in out
 
 
 class TestBenchCommand:
@@ -186,7 +260,7 @@ class TestBenchCommand:
         assert code == 0
         for benchmark in all_benchmarks():
             assert benchmark.name in out
-        assert "12 benchmarks" in out
+        assert "13 benchmarks" in out
 
     def test_bench_list_tier_selection(self, capsys):
         code = main(["bench", "list", "--tier", "smoke"])

@@ -1,0 +1,406 @@
+"""Unit tests for the live runtime's layers: wire codec, transports,
+round barrier (late-message accounting), and runner plumbing.
+
+The flagship guarantee — zero-delay LocalTransport runs reproduce the
+lock-step simulator bit-for-bit — lives in
+``tests/test_runtime_differential.py``; here each layer is exercised in
+isolation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError, TransportError, WireError
+from repro.net.message import Envelope
+from repro.runtime import (
+    TRANSPORTS,
+    BeatSynchronizer,
+    Frame,
+    LocalTransport,
+    TcpTransport,
+    Transport,
+    decode_frame,
+    encode_frame,
+    frame_for_envelope,
+    resolve_transport,
+    run_runtime,
+)
+from repro.runtime.wire import END, HELLO, MSG
+
+
+class TestWireCodec:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            "fc",
+            ("fc", 3),
+            ("vote", (1, 0, 1, 1)),
+            ("nested", ("deep", (None, 2.0, "x"))),
+            (),
+        ],
+    )
+    def test_msg_round_trip(self, payload):
+        envelope = Envelope(2, 1, "root/A/A1", payload, 7)
+        frame = frame_for_envelope(envelope, seq=5)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert decoded.envelope(2) == envelope
+
+    def test_end_and_hello_round_trip(self):
+        for frame in (Frame(kind=END, sender=3, beat=9),
+                      Frame(kind=HELLO, sender=1)):
+            assert decode_frame(encode_frame(frame)) == frame
+
+    def test_claimed_sender_is_discarded_on_rebuild(self):
+        """Envelope identity comes from the transport, not the frame."""
+        frame = decode_frame(
+            encode_frame(Frame(kind=MSG, sender=999, beat=0, seq=0,
+                               receiver=1, path="root", payload=0))
+        )
+        assert frame.envelope(verified_sender=2).sender == 2
+
+    @pytest.mark.parametrize(
+        "payload", [[1, 2], {"a": 1}, {1, 2}, b"bytes", object()]
+    )
+    def test_out_of_domain_payloads_rejected_at_encode(self, payload):
+        frame = Frame(kind=MSG, sender=0, beat=0, seq=0, receiver=1,
+                      path="root", payload=payload)
+        with pytest.raises(WireError):
+            encode_frame(frame)
+
+    def test_depth_bomb_rejected(self):
+        nested = 0
+        for _ in range(64):
+            nested = (nested,)
+        frame = Frame(kind=MSG, sender=0, beat=0, seq=0, receiver=1,
+                      path="root", payload=nested)
+        with pytest.raises(WireError):
+            encode_frame(frame)
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"garbage",
+            b"\xff\xfe",
+            b"[1,2,3]",
+            b'{"k":"warp"}',
+            b'{"k":"msg","s":"zero","b":0,"q":0,"r":1,"p":"root","v":0}',
+            b'{"k":"msg","s":0,"b":0,"q":0,"r":1,"p":7,"v":0}',
+            b'{"k":"end","s":0}',  # end without a beat
+        ],
+    )
+    def test_malformed_frames_rejected_at_decode(self, data):
+        with pytest.raises(WireError):
+            decode_frame(data)
+
+    def test_unknown_kind_rejected_at_encode(self):
+        with pytest.raises(WireError):
+            encode_frame(Frame(kind="warp", sender=0))
+
+    def test_arrays_decode_to_tuples(self):
+        """The hashable-payload contract survives the wire."""
+        frame = decode_frame(
+            b'{"k":"msg","s":0,"b":0,"q":0,"r":1,"p":"root","v":[1,[2,3]]}'
+        )
+        assert frame.payload == (1, (2, 3))
+        assert hash(frame.payload) is not None
+
+
+def _stub_endpoint():
+    """A minimal endpoint: an asyncio queue the test feeds directly."""
+
+    class StubEndpoint:
+        node_id = 0
+
+        def __init__(self) -> None:
+            self.queue: asyncio.Queue = asyncio.Queue()
+
+        async def send(self, receiver, data):  # pragma: no cover - unused
+            raise AssertionError("stub endpoint never sends")
+
+        async def recv(self):
+            return await self.queue.get()
+
+    return StubEndpoint()
+
+
+def _msg(sender: int, beat: int, seq: int, payload, path="root") -> bytes:
+    return encode_frame(
+        frame_for_envelope(Envelope(sender, 0, path, payload, beat), seq)
+    )
+
+
+def _end(sender: int, beat: int) -> bytes:
+    return encode_frame(Frame(kind=END, sender=sender, beat=beat))
+
+
+class TestBeatSynchronizer:
+    def test_late_message_counted_dropped_and_quarantined(self):
+        """A message tagged for beat b arriving after b's barrier closed is
+        counted, dropped, and never corrupts beat b+1 (ISSUE-4 check)."""
+
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[0, 1])
+            endpoint.queue.put_nowait((1, _msg(1, 0, 0, "on-time")))
+            endpoint.queue.put_nowait((0, _end(0, 0)))
+            endpoint.queue.put_nowait((1, _end(1, 0)))
+            beat0 = await sync.collect(0)
+            # The straggler: tagged beat 0, arrives once beat 0 is closed.
+            endpoint.queue.put_nowait((1, _msg(1, 0, 1, "late")))
+            endpoint.queue.put_nowait((1, _msg(1, 1, 0, "fresh")))
+            endpoint.queue.put_nowait((0, _end(0, 1)))
+            endpoint.queue.put_nowait((1, _end(1, 1)))
+            beat1 = await sync.collect(1)
+            return sync, beat0, beat1
+
+        sync, beat0, beat1 = asyncio.run(scenario())
+        assert [e.payload for e in beat0["root"]] == ["on-time"]
+        assert sync.late_messages == 1
+        assert [e.payload for e in beat1["root"]] == ["fresh"]
+
+    def test_far_future_traffic_refused_not_buffered(self):
+        """A Byzantine peer streaming far-future tags cannot pin
+        unbounded memory: frames beyond the lookahead horizon are
+        counted and discarded, frames just inside it still buffer."""
+        from repro.runtime.sync import MAX_LOOKAHEAD
+
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[0, 1])
+            endpoint.queue.put_nowait((1, _msg(1, MAX_LOOKAHEAD, 0, "bomb")))
+            endpoint.queue.put_nowait((1, _end(1, MAX_LOOKAHEAD + 7)))
+            endpoint.queue.put_nowait((1, _msg(1, MAX_LOOKAHEAD - 1, 0, "ok")))
+            endpoint.queue.put_nowait((0, _end(0, 0)))
+            endpoint.queue.put_nowait((1, _end(1, 0)))
+            await sync.collect(0)
+            return sync
+
+        sync = asyncio.run(scenario())
+        assert sync.premature_messages == 2
+        assert list(sync._messages) == [MAX_LOOKAHEAD - 1]
+
+    def test_future_traffic_buffers_until_its_beat(self):
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[0, 1])
+            # A fast peer is already at beat 1 before we close beat 0.
+            endpoint.queue.put_nowait((1, _msg(1, 1, 0, "early")))
+            endpoint.queue.put_nowait((1, _end(1, 1)))
+            endpoint.queue.put_nowait((1, _end(1, 0)))
+            endpoint.queue.put_nowait((0, _end(0, 0)))
+            beat0 = await sync.collect(0)
+            endpoint.queue.put_nowait((0, _end(0, 1)))
+            beat1 = await sync.collect(1)
+            return beat0, beat1
+
+        beat0, beat1 = asyncio.run(scenario())
+        assert beat0 == {}
+        assert [e.payload for e in beat1["root"]] == ["early"]
+
+    def test_inboxes_sorted_by_sender_then_emission_seq(self):
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[0, 1, 2])
+            # Arrival order scrambled on purpose; delivery order must not be.
+            endpoint.queue.put_nowait((2, _msg(2, 0, 0, "c")))
+            endpoint.queue.put_nowait((1, _msg(1, 0, 1, "b2")))
+            endpoint.queue.put_nowait((1, _msg(1, 0, 0, "b1")))
+            endpoint.queue.put_nowait((0, _msg(0, 0, 0, "a")))
+            for sender in (0, 1, 2):
+                endpoint.queue.put_nowait((sender, _end(sender, 0)))
+            return await sync.collect(0)
+
+        inbox = asyncio.run(scenario())
+        assert [e.payload for e in inbox["root"]] == ["a", "b1", "b2", "c"]
+
+    def test_verified_sender_overrides_frame_claim(self):
+        """A forged sender field cannot impersonate an honest peer."""
+
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[0, 3])
+            endpoint.queue.put_nowait((3, _msg(0, 0, 0, "forged")))
+            endpoint.queue.put_nowait((0, _end(0, 0)))
+            endpoint.queue.put_nowait((3, _end(3, 0)))
+            return await sync.collect(0)
+
+        inbox = asyncio.run(scenario())
+        assert [e.sender for e in inbox["root"]] == [3]
+
+    def test_malformed_frames_counted_and_dropped(self):
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[0])
+            endpoint.queue.put_nowait((0, b"\xff not a frame"))
+            endpoint.queue.put_nowait((0, _end(0, 0)))
+            inbox = await sync.collect(0)
+            return sync, inbox
+
+        sync, inbox = asyncio.run(scenario())
+        assert sync.malformed_frames == 1
+        assert inbox == {}
+
+    def test_barrier_timeout_counted_and_run_continues(self):
+        async def scenario():
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(
+                endpoint, expected=[0, 1], beat_timeout=0.02
+            )
+            endpoint.queue.put_nowait((0, _end(0, 0)))  # peer 1 never marks
+            inbox = await sync.collect(0)
+            return sync, inbox
+
+        sync, inbox = asyncio.run(scenario())
+        assert sync.barrier_timeouts == 1
+        assert inbox == {}
+        assert sync.beat == 1  # the run moved on
+
+    def test_beats_close_strictly_in_order(self):
+        async def scenario():
+            sync = BeatSynchronizer(_stub_endpoint(), expected=[0])
+            await sync.collect(3)
+
+        with pytest.raises(ConfigurationError):
+            asyncio.run(scenario())
+
+
+class TestLocalTransport:
+    def test_unregistered_receiver_is_a_counted_dead_letter(self):
+        async def scenario():
+            transport = LocalTransport()
+            endpoint = await transport.open(0)
+            await endpoint.send(9, b"x")
+            return transport.dead_letters
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_duplicate_registration_rejected(self):
+        async def scenario():
+            transport = LocalTransport()
+            await transport.open(0)
+            await transport.open(0)
+
+        with pytest.raises(TransportError):
+            asyncio.run(scenario())
+
+    def test_jittered_delivery_arrives(self):
+        async def scenario():
+            transport = LocalTransport(seed=7, jitter_s=0.01, fifo=False)
+            a = await transport.open(0)
+            b = await transport.open(1)
+            await a.send(1, b"one")
+            await a.send(1, b"two")
+            got = {await b.recv(), await b.recv()}
+            await transport.aclose()
+            return got
+
+        assert asyncio.run(scenario()) == {(0, b"one"), (0, b"two")}
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(TransportError):
+            LocalTransport(jitter_s=-1.0)
+
+
+class TestTcpTransport:
+    def test_send_recv_stamps_connection_identity(self):
+        async def scenario():
+            transport = TcpTransport()
+            a = await transport.open(0)
+            b = await transport.open(1)
+            # The frame *claims* sender 999; identity must come from the
+            # connection hello (node 0), not the frame contents.
+            await a.send(1, _msg(999, 0, 0, "hi"))
+            sender, data = await b.recv()
+            await transport.aclose()
+            return sender, decode_frame(data).payload
+
+        assert asyncio.run(scenario()) == (0, "hi")
+
+    def test_loopback_send_to_self(self):
+        async def scenario():
+            transport = TcpTransport()
+            a = await transport.open(0)
+            await a.send(0, _msg(0, 0, 0, "self"))
+            sender, _data = await a.recv()
+            await transport.aclose()
+            return sender
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_unknown_peer_address_rejected(self):
+        async def scenario():
+            transport = TcpTransport()
+            endpoint = await transport.open(0)
+            try:
+                await endpoint.send(5, b"x")
+            finally:
+                await transport.aclose()
+
+        with pytest.raises(TransportError):
+            asyncio.run(scenario())
+
+
+class TestTransportRegistry:
+    def test_registry_names(self):
+        assert set(TRANSPORTS) == {"local", "tcp"}
+        for name in TRANSPORTS:
+            assert isinstance(resolve_transport(name), Transport)
+
+    def test_instance_passes_through(self):
+        transport = LocalTransport()
+        assert resolve_transport(transport) is transport
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(TransportError):
+            resolve_transport("carrier-pigeon")
+        with pytest.raises(TransportError):
+            resolve_transport(42)  # type: ignore[arg-type]
+
+
+class TestRunner:
+    def _factory(self):
+        from repro.coin.oracle import OracleCoin
+        from repro.core.clock_sync import SSByzClockSync
+
+        return lambda i: SSByzClockSync(
+            6, lambda: OracleCoin(p0=0.4, p1=0.4, rounds=2)
+        )
+
+    def test_repeat_runs_are_deterministic(self):
+        first = run_runtime(
+            4, 1, self._factory(), seed=3, beats=12, k=6
+        )
+        second = run_runtime(
+            4, 1, self._factory(), seed=3, beats=12, k=6
+        )
+        assert first.records == second.records
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_runtime(3, 1, self._factory(), beats=1)
+
+    def test_at_least_one_beat(self):
+        with pytest.raises(ConfigurationError):
+            run_runtime(4, 1, self._factory(), beats=0)
+
+    def test_result_shape(self):
+        result = run_runtime(4, 1, self._factory(), seed=0, beats=8, k=6)
+        assert result.beats_run == 8
+        assert len(result.records) == 8
+        assert len(result.history) == 8
+        assert all(len(row) == 4 for row in result.history)
+        assert result.messages_sent > 0
+        assert result.late_messages == 0
+        assert result.barrier_timeouts == 0

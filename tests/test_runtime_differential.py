@@ -1,0 +1,157 @@
+"""Differential identity: the live runtime vs the lock-step simulator.
+
+The runtime is only allowed to exist because a zero-delay
+``LocalTransport`` run is *observationally identical* to the simulator:
+same per-beat honest clock trajectories, bit for bit, for seeds 0-9, with
+and without an adversary — the same identity-proof discipline the engine
+seam (``tests/test_engines.py``) and the link-model seam
+(``tests/test_linkmodel.py``) carry.  Comparison goes through the shared
+JSONL trace format (``repro.net.trace``), so the on-disk representations
+are proven interchangeable at the same time.
+
+The TCP half is a different kind of claim: over real loopback sockets no
+bit-identity is promised (arrival interleavings are scheduler noise), but
+the round barrier must still normalize them away — a scrambled-start
+``TcpTransport`` run with n=4, f=1 under an active adversary converges
+and holds Definition 3.2 agreement for a full closure window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import EquivocatorAdversary, SplitWorldAdversary
+from repro.coin.oracle import OracleCoin
+from repro.core.clock_sync import SSByzClockSync
+from repro.net.simulator import Simulation
+from repro.net.trace import Tracer, records_from_jsonl, records_to_jsonl
+from repro.runtime import run_runtime
+
+SEEDS = range(10)
+BEATS = 40
+CLOSURE_WINDOW = 12
+
+
+def _factory(k: int = 6):
+    return lambda i: SSByzClockSync(
+        k, lambda: OracleCoin(p0=0.4, p1=0.4, rounds=2)
+    )
+
+
+def _simulated_trace(seed: int, adversary_factory, *, engine: str = "fast"):
+    """Scrambled-start simulator run; per-beat clock values as JSONL."""
+    sim = Simulation(
+        4,
+        1,
+        _factory(),
+        adversary=adversary_factory(),
+        seed=seed,
+        engine=engine,
+    )
+    tracer = Tracer(lambda root: root.clock_value)
+    sim.add_monitor(tracer)
+    sim.scramble()
+    sim.run(BEATS)
+    return tracer.to_jsonl()
+
+
+def _live_trace(seed: int, adversary_factory):
+    """The same run, live: concurrent tasks over zero-delay local queues."""
+    result = run_runtime(
+        4,
+        1,
+        _factory(),
+        adversary=adversary_factory(),
+        seed=seed,
+        beats=BEATS,
+        transport="local",
+        k=6,
+    )
+    # Zero-delay local delivery must never degrade the round abstraction.
+    assert result.late_messages == 0
+    assert result.barrier_timeouts == 0
+    return result.to_jsonl()
+
+
+class TestLocalTransportIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fault_free_trajectories_identical(self, seed):
+        assert _live_trace(seed, lambda: None) == _simulated_trace(
+            seed, lambda: None
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adversarial_trajectories_identical(self, seed):
+        """A live Byzantine *peer* reproduces the lock-step adversary
+        phase exactly: same visible-message order, same RNG stream, same
+        divergence choices."""
+        assert _live_trace(seed, EquivocatorAdversary) == _simulated_trace(
+            seed, EquivocatorAdversary
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_split_world_with_divergence_chooser_identical(self, seed):
+        """The adversary's coin-divergence hook fires identically live."""
+        assert _live_trace(seed, SplitWorldAdversary) == _simulated_trace(
+            seed, SplitWorldAdversary
+        )
+
+    def test_identity_holds_against_both_engines(self):
+        """The runtime equals *the simulator*, not one engine's quirks."""
+        live = _live_trace(0, EquivocatorAdversary)
+        for engine in ("fast", "reference"):
+            assert live == _simulated_trace(
+                0, EquivocatorAdversary, engine=engine
+            )
+
+    def test_jsonl_round_trips_to_equal_records(self, tmp_path):
+        """The shared trace format survives the disk, both directions."""
+        sim = Simulation(4, 1, _factory(), seed=2)
+        tracer = Tracer(lambda root: root.clock_value)
+        sim.add_monitor(tracer)
+        sim.scramble()
+        sim.run(10)
+        live = run_runtime(
+            4, 1, _factory(), seed=2, beats=10, transport="local", k=6
+        )
+        trace_file = tmp_path / "trace.jsonl"
+        trace_file.write_text(live.to_jsonl(), encoding="utf-8")
+        loaded = records_from_jsonl(trace_file.read_text(encoding="utf-8"))
+        assert loaded == list(tracer.records)
+        assert records_to_jsonl(loaded) == tracer.to_jsonl()
+
+
+class TestTcpLoopback:
+    def test_converges_and_holds_closure_under_adversary(self):
+        """Acceptance: TCP loopback, n=4, f=1, live Byzantine peer —
+        converges and holds agreement for a full closure window."""
+        result = run_runtime(
+            4,
+            1,
+            _factory(),
+            adversary=EquivocatorAdversary(),
+            seed=0,
+            beats=BEATS,
+            transport="tcp",
+            k=6,
+            beat_timeout=30.0,
+        )
+        assert result.transport == "tcp"
+        assert result.converged_beat is not None
+        # converged_at already demands closure through the end of the run;
+        # require the synched suffix to span at least a full window.
+        assert result.converged_beat <= BEATS - CLOSURE_WINDOW - 1
+        assert result.barrier_timeouts == 0
+
+    def test_tcp_trajectory_matches_simulator_too(self):
+        """Loopback sockets reorder arrivals; the barrier's canonical sort
+        must erase that noise entirely — one seed checked end to end."""
+        sim = Simulation(4, 1, _factory(), seed=1, engine="fast")
+        tracer = Tracer(lambda root: root.clock_value)
+        sim.add_monitor(tracer)
+        sim.scramble()
+        sim.run(20)
+        result = run_runtime(
+            4, 1, _factory(), seed=1, beats=20, transport="tcp", k=6
+        )
+        assert result.to_jsonl() == tracer.to_jsonl()

@@ -1,11 +1,21 @@
-"""Tracer and trace formatting."""
+"""Tracer, trace formatting, and the shared JSONL on-disk format."""
 
 from __future__ import annotations
+
+import json
+
+import pytest
 
 from repro.coin.oracle import OracleCoin
 from repro.core.clock2 import SSByz2Clock
 from repro.net.simulator import Simulation
-from repro.net.trace import BeatRecord, Tracer, format_clock_row
+from repro.net.trace import (
+    BeatRecord,
+    Tracer,
+    format_clock_row,
+    records_from_jsonl,
+    records_to_jsonl,
+)
 
 
 class TestTracer:
@@ -40,6 +50,51 @@ class TestTracer:
         sim.run(3)
         assert len(lines) == 3
         assert all(line.startswith("beat") for line in lines)
+
+
+class TestJsonl:
+    def test_record_round_trip(self):
+        record = BeatRecord(7, {0: 3, 1: None, 2: 0})
+        line = record.to_jsonl()
+        assert "\n" not in line
+        assert BeatRecord.from_jsonl(line) == record
+
+    def test_node_ids_come_back_as_ints(self):
+        loaded = BeatRecord.from_jsonl('{"beat":0,"values":{"2":5,"0":1}}')
+        assert sorted(loaded.values) == [0, 2]
+        assert loaded.values[2] == 5
+
+    def test_equal_records_serialize_to_equal_bytes(self):
+        """Key order must not leak into the bytes (the differential
+        harness compares serialized traces directly)."""
+        a = BeatRecord(1, {0: 1, 1: 2})
+        b = BeatRecord(1, {1: 2, 0: 1})
+        assert a.to_jsonl() == b.to_jsonl()
+
+    def test_tracer_to_jsonl_round_trips(self):
+        sim = Simulation(
+            4, 1, lambda i: SSByz2Clock(OracleCoin(rounds=2)), seed=1
+        )
+        tracer = Tracer(lambda root: root.clock)
+        sim.add_monitor(tracer)
+        sim.run(6)
+        text = tracer.to_jsonl()
+        assert text.endswith("\n") and len(text.splitlines()) == 6
+        assert records_from_jsonl(text) == list(tracer.records)
+        assert records_to_jsonl(records_from_jsonl(text)) == text
+
+    def test_blank_lines_ignored_on_load(self):
+        text = '{"beat":0,"values":{"0":1}}\n\n{"beat":1,"values":{"0":2}}\n'
+        assert [r.beat for r in records_from_jsonl(text)] == [0, 1]
+
+    def test_lines_are_plain_json(self):
+        """Any JSONL tooling can consume a trace without this library."""
+        line = BeatRecord(3, {0: None, 1: 4}).to_jsonl()
+        assert json.loads(line) == {"beat": 3, "values": {"0": None, "1": 4}}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises((json.JSONDecodeError, KeyError)):
+            BeatRecord.from_jsonl("not json at all")
 
 
 class TestFormatting:
