@@ -1,0 +1,30 @@
+"""Cross-protocol comparison: every registered protocol at matched n/f.
+
+Thin pytest shim over the ``protocol_comparison`` registration in the
+benchmark registry — the experiment's full definition (measurement,
+metrics, qualitative checks) lives in
+``src/repro/bench/suites/protocol_comparison.py``.  Running this file
+executes the benchmark at the full tier and regenerates its blocks under
+``benchmarks/results/``.
+
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only protocol_comparison
+"""
+
+from __future__ import annotations
+
+
+def test_protocol_comparison(run_registered):
+    run_registered("protocol_comparison")
+
+
+if __name__ == "__main__":  # standalone entry point, matching its siblings
+    import sys
+
+    from repro.cli import main
+
+    args = ["bench", "run", "--only", "protocol_comparison"]
+    if "--smoke" in sys.argv[1:]:
+        args += ["--tier", "smoke"]
+    sys.exit(main(args))

@@ -17,7 +17,10 @@ import repro
 
 
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2026
+    # The CI example sweep passes --smoke to every script; it is not a
+    # seed (negative seeds like -5 are).  Ignore exactly that flag.
+    args = [arg for arg in sys.argv[1:] if arg != "--smoke"]
+    seed = int(args[0]) if args else 2026
     n, f, k = 7, 2, 60
     result = repro.synchronize(n=n, f=f, k=k, seed=seed, max_beats=60)
 

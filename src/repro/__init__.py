@@ -38,6 +38,13 @@ from repro.core.clock4 import SSByz4Clock
 from repro.core.clock_sync import SSByzClockSync
 from repro.core.pipeline import CoinFlipPipeline
 from repro.core.power_of_two import RecursiveDoublingClock
+from repro.core.protocol import (
+    DEFAULT_PROTOCOL,
+    PROTOCOLS,
+    Protocol,
+    register_protocol,
+    resolve_protocol,
+)
 from repro.errors import ConfigurationError, ReproError
 from repro.net.linkmodel import (
     LINK_MODELS,
@@ -67,6 +74,7 @@ __all__ = [
     "CoinAlgorithm",
     "CoinFlipPipeline",
     "ConfigurationError",
+    "DEFAULT_PROTOCOL",
     "FeldmanMicaliCoin",
     "LINK_MODELS",
     "LinkModel",
@@ -74,8 +82,10 @@ __all__ = [
     "LocalTransport",
     "LossyLinks",
     "OracleCoin",
+    "PROTOCOLS",
     "PartitionLinks",
     "PerfectLinks",
+    "Protocol",
     "RecursiveDoublingClock",
     "ReproError",
     "RuntimeResult",
@@ -92,6 +102,8 @@ __all__ = [
     "coin_by_name",
     "make_link",
     "normalize_link_params",
+    "register_protocol",
+    "resolve_protocol",
     "run_campaign",
     "run_runtime",
     "run_trial",
@@ -123,6 +135,7 @@ def synchronize(
     n: int,
     f: int,
     k: int,
+    protocol: str = DEFAULT_PROTOCOL,
     coin: str = "oracle",
     adversary: Adversary | None = None,
     seed: int = 0,
@@ -133,8 +146,11 @@ def synchronize(
     link: str = "perfect",
     link_params: dict | None = None,
 ) -> TrialResult:
-    """Run ss-Byz-Clock-Sync from a worst-case scrambled state.
+    """Run a registered protocol from a worst-case scrambled state.
 
+    ``protocol`` names any entry of :data:`PROTOCOLS` (default: the
+    paper's ``"clock-sync"``; ``python -m repro protocols`` lists the
+    catalog — ``coin`` only matters for protocols that use one).
     Returns a :class:`~repro.analysis.experiments.TrialResult` whose
     ``converged_beat`` is the first beat from which all correct nodes hold
     one clock value and increment it by one mod ``k`` every beat
@@ -150,7 +166,9 @@ def synchronize(
         n=n,
         f=f,
         k=k,
-        protocol_factory=lambda _node_id: SSByzClockSync(k, coin_factory),
+        protocol_factory=resolve_protocol(protocol).factory(
+            n, f, k, coin_factory=coin_factory
+        ),
         adversary_factory=lambda: adversary,
         max_beats=max_beats,
         scramble=scramble,

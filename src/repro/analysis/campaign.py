@@ -11,8 +11,8 @@ This module is the scale-out layer on top of the trial harness:
   Specs cross process boundaries; the per-node component factories they
   imply are rebuilt inside each worker via the module-level registries
   below.
-* :func:`scenario_grid` — expand axes (n, k, adversary, link) into a spec
-  list, deriving ``f = ⌊(n-1)/3⌋`` when not pinned.
+* :func:`scenario_grid` — expand axes (n, k, adversary, link, protocol)
+  into a spec list, deriving ``f = ⌊(n-1)/3⌋`` when not pinned.
 * :func:`iter_campaign` / :func:`run_campaign` — fan one seed-trial out
   per worker process, early-exit each trial once convergence plus a
   closure window is confirmed, and stream one aggregated
@@ -44,12 +44,10 @@ from repro.analysis.experiments import (
     TrialResult,
     run_trial,
 )
-from repro.baselines.det_clock_sync import DeterministicClockSync
-from repro.baselines.dolev_welch import DolevWelchClock
 from repro.coin.feldman_micali import FeldmanMicaliCoin
 from repro.coin.local import LocalCoin
 from repro.coin.oracle import OracleCoin
-from repro.core.clock_sync import SSByzClockSync
+from repro.core.protocol import DEFAULT_PROTOCOL, PROTOCOLS, resolve_protocol
 from repro.errors import ConfigurationError
 from repro.net.linkmodel import LINK_MODELS, make_link, normalize_link_params
 
@@ -79,12 +77,16 @@ ADVERSARY_REGISTRY: dict[str, type | None] = {
     "mixed-dealing": MixedDealingAdversary,
 }
 
-#: Protocol family names accepted by :class:`ScenarioSpec.protocol`.
-PROTOCOL_REGISTRY: tuple[str, ...] = (
-    "clock-sync",
-    "deterministic",
-    "dolev-welch",
-)
+#: Protocol family name -> :class:`~repro.core.protocol.Protocol` catalog
+#: entry, accepted by :class:`ScenarioSpec.protocol` and shared with the
+#: CLI's ``--protocol`` flags.  Backed by the ``core.protocol`` registry,
+#: so registering a new protocol automatically extends the campaign grid
+#: — with one caveat shared by every name-keyed registry here: specs
+#: carry the *name* across process boundaries, so a custom protocol must
+#: be registered at import time in a module the worker processes also
+#: import (registration inside ``__main__`` only reaches forked workers,
+#: not spawned ones; use ``workers=1`` otherwise).
+PROTOCOL_REGISTRY = PROTOCOLS
 
 #: Coin names accepted by :class:`ScenarioSpec.coin` (clock-sync only).
 COIN_REGISTRY: tuple[str, ...] = ("oracle", "gvss", "local")
@@ -100,8 +102,11 @@ class ScenarioSpec:
 
     Attributes:
         n, f, k: system size, fault parameter, clock modulus.
-        protocol: family name — ``"clock-sync"`` (the paper's algorithm),
-            ``"deterministic"`` or ``"dolev-welch"`` (Table 1 baselines).
+        protocol: family name from :data:`PROTOCOL_REGISTRY` —
+            ``"clock-sync"`` (the paper's algorithm) or any registered
+            baseline (``"deterministic"``, ``"dolev-welch"``,
+            ``"phase-king"``, ``"turpin-coan"``; see
+            :mod:`repro.core.protocol`).
         coin: ``"oracle"``, ``"gvss"`` or ``"local"`` (clock-sync only).
         adversary: a name from :data:`ADVERSARY_REGISTRY`.
         max_beats: per-trial beat budget.
@@ -145,11 +150,7 @@ class ScenarioSpec:
     tag: str = ""
 
     def validate(self) -> None:
-        if self.protocol not in PROTOCOL_REGISTRY:
-            raise ConfigurationError(
-                f"unknown protocol {self.protocol!r}; "
-                f"known: {sorted(PROTOCOL_REGISTRY)}"
-            )
+        resolve_protocol(self.protocol)
         if self.coin not in COIN_REGISTRY:
             raise ConfigurationError(
                 f"unknown coin {self.coin!r}; known: {sorted(COIN_REGISTRY)}"
@@ -210,15 +211,13 @@ class ScenarioSpec:
         """Materialize the (closure-carrying) trial config for this spec."""
         self.validate()
         spec = self
-        if spec.protocol == "deterministic":
-            factory = lambda _i: DeterministicClockSync(spec.n, spec.f, spec.k)
-        elif spec.protocol == "dolev-welch":
-            factory = lambda _i: DolevWelchClock(spec.k)
-        else:
-            coin_factory = spec._coin_factory()
-            factory = lambda _i: SSByzClockSync(
-                spec.k, coin_factory, share_coin=spec.share_coin
-            )
+        factory = resolve_protocol(spec.protocol).factory(
+            spec.n,
+            spec.f,
+            spec.k,
+            coin_factory=spec._coin_factory(),
+            share_coin=spec.share_coin,
+        )
         adversary_cls = ADVERSARY_REGISTRY[spec.adversary]
         if adversary_cls is None:
             adversary_factory = lambda: None
@@ -257,23 +256,37 @@ def scenario_grid(
     ks: Iterable[int] = (8,),
     adversaries: Iterable[str] = ("none",),
     links: Iterable["str | tuple[str, object]"] = ("perfect",),
+    protocols: Iterable[str] | None = None,
     fs: Sequence[int] | None = None,
     **common: object,
 ) -> list[ScenarioSpec]:
-    """Expand an n × k × adversary × link grid into scenario specs.
+    """Expand an n × k × adversary × link × protocol grid into specs.
 
     ``fs`` pins one fault parameter per entry of ``ns`` (same length);
     omitted, it defaults to the resilience-optimal ``⌊(n-1)/3⌋``.  Each
     ``links`` entry is a model name or a ``(name, params)`` pair, where
     ``params`` is a dict or pair-tuple of keyword arguments — e.g.
     ``links=[("delay", {"max_delay": 2}), ("lossy", {"loss": 0.1})]``
-    crosses every existing scenario with two degraded networks.  Extra
-    keyword arguments are forwarded to every :class:`ScenarioSpec`.
+    crosses every existing scenario with two degraded networks.
+    ``protocols`` is the protocol grid axis (names from
+    :data:`PROTOCOL_REGISTRY`); omitted, a single ``protocol=...``
+    keyword (default ``"clock-sync"``) pins the whole grid to one
+    family, the pre-seam behavior.  Extra keyword arguments are
+    forwarded to every :class:`ScenarioSpec`.
     """
     ns = list(ns)
     ks = list(ks)  # materialize: one-shot iterables must survive the loop
     adversaries = list(adversaries)
     link_axis = [_normalize_link_axis(entry) for entry in links]
+    if protocols is None:
+        protocols = [common.pop("protocol", DEFAULT_PROTOCOL)]
+    elif "protocol" in common:
+        raise ConfigurationError(
+            "pass either a protocols=... grid axis or a single "
+            "protocol=..., not both"
+        )
+    else:
+        protocols = list(protocols)
     if fs is not None and len(fs) != len(ns):
         raise ConfigurationError(
             f"fs has {len(fs)} entries for {len(ns)} system sizes"
@@ -284,17 +297,19 @@ def scenario_grid(
         for k in ks:
             for adversary in adversaries:
                 for link, link_params in link_axis:
-                    specs.append(
-                        ScenarioSpec(
-                            n=n,
-                            f=f,
-                            k=k,
-                            adversary=adversary,
-                            link=link,
-                            link_params=link_params,
-                            **common,
+                    for protocol in protocols:
+                        specs.append(
+                            ScenarioSpec(
+                                n=n,
+                                f=f,
+                                k=k,
+                                protocol=protocol,
+                                adversary=adversary,
+                                link=link,
+                                link_params=link_params,
+                                **common,
+                            )
                         )
-                    )
     return specs
 
 

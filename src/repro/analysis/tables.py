@@ -13,10 +13,7 @@ from typing import Callable, Sequence
 
 from repro.adversary.base import Adversary
 from repro.analysis.experiments import SweepResult, TrialConfig, run_sweep
-from repro.baselines.det_clock_sync import DeterministicClockSync
-from repro.baselines.dolev_welch import DolevWelchClock
-from repro.coin.oracle import OracleCoin
-from repro.core.clock_sync import SSByzClockSync
+from repro.core.protocol import resolve_protocol
 from repro.net.component import Component
 
 __all__ = ["Table1Row", "render_table", "standard_families", "table1_comparison"]
@@ -66,11 +63,16 @@ class Table1Row:
 def standard_families(
     n: int, f: int, k: int
 ) -> dict[str, Callable[[int], Component]]:
-    """Per-node factories for the three Table 1 algorithm families."""
+    """Per-node factories for the three Table 1 algorithm families.
+
+    Built through the :mod:`repro.core.protocol` seam (``"current"`` is
+    the registry's ``"clock-sync"`` with its default oracle coin); the
+    full registered catalog is wider — see ``python -m repro protocols``.
+    """
     return {
-        "dolev-welch": lambda _node_id: DolevWelchClock(k),
-        "deterministic": lambda _node_id: DeterministicClockSync(n, f, k),
-        "current": lambda _node_id: SSByzClockSync(k, lambda: OracleCoin()),
+        "dolev-welch": resolve_protocol("dolev-welch").factory(n, f, k),
+        "deterministic": resolve_protocol("deterministic").factory(n, f, k),
+        "current": resolve_protocol("clock-sync").factory(n, f, k),
     }
 
 

@@ -1,116 +1,37 @@
 """Deterministic self-stabilizing clock sync: cyclic Byzantine agreement.
 
 This is the library's stand-in for Table 1's deterministic rows ([15],
-[7]): the clock ticks +1 every beat, and a multivalued Byzantine agreement
-(Turpin-Coan over phase-king, Δ = 2 + 3(f+1) rounds) repeatedly re-anchors
-it — one agreement cycle every Δ beats, agreeing on the clock value the
-cycle started from.  *Validity* makes an already-synchronized system
-re-adopt its own ticked value (closure undisturbed); *agreement* makes an
-unsynchronized system synchronized at the first complete cycle, i.e. within
-at most 2Δ = O(f) beats, deterministically, for any f < n/3.
+[7] — the linear-time line descending from Daliot-Dolev-Parnas,
+arXiv:cs/0608096; see PAPERS.md): the clock ticks +1 every beat, and a
+multivalued Byzantine agreement (Turpin-Coan over phase-king,
+Δ = 2 + 3(f+1) rounds) repeatedly re-anchors it — one agreement cycle
+every Δ beats, agreeing on the clock value the cycle started from.
+*Validity* makes an already-synchronized system re-adopt its own ticked
+value (closure undisturbed); *agreement* makes an unsynchronized system
+synchronized at the first complete cycle, i.e. within at most 2Δ = O(f)
+beats, deterministically, for any f < n/3.
 
-**Documented modelling concession** (see DESIGN.md): the agreement cycle
-boundary is derived from the global beat index (``beat mod Δ``), i.e. our
-global beat system hands nodes a shared phase label along with the beat.
-The reproduced paper's model does not include such a label, and removing it
-— scheduling recurring agreements without any prior synchrony — is exactly
-the technical contribution of [15]/[7], which this library does not
-re-derive.  A naive label-free pipelining of agreements (one instance
-started per beat, outputs adopted every beat) admits *frozen fixed points*:
-each of the Δ interleaved agreement lanes is self-consistent on its own, so
-the composite clock can stop ticking while remaining "agreed" — we keep a
-regression test of that failure mode (`tests/test_baselines.py`) as
-evidence of why the concession, or a paper's worth of extra machinery, is
-necessary.  The baseline's role in the benches is only to exhibit the
-deterministic O(f)-convergence / f < n/3 row of Table 1.
+Structurally the algorithm *is* the cyclic Turpin-Coan clock
+(:class:`~repro.baselines.turpin_coan.TurpinCoanClock`, built on the
+shared :class:`~repro.baselines.cyclic.CyclicAgreementClock` scaffold);
+this module keeps the Table 1 row's historical name, and both names are
+registered as protocols (``deterministic`` / ``turpin-coan`` in
+:mod:`repro.core.protocol`) with a differential test pinning them
+trajectory-identical.  The shared-phase-label modelling concession and
+the frozen-fixed-point failure mode of naive label-free pipelining are
+documented in :mod:`repro.baselines.cyclic` and kept alive as a
+regression test in ``tests/test_baselines.py``.
+
+Run it through the unified CLI: ``python -m repro run --protocol
+deterministic`` (or ``campaign`` / ``runtime`` with the same flag).
 """
 
 from __future__ import annotations
 
-import random
-from typing import Any
-
-from repro.baselines.turpin_coan import TurpinCoanInstance, turpin_coan_rounds
-from repro.coin.interfaces import InstanceContext
-from repro.errors import ConfigurationError
-from repro.net.component import BeatContext, Component
+from repro.baselines.turpin_coan import TurpinCoanClock
 
 __all__ = ["DeterministicClockSync"]
 
 
-class DeterministicClockSync(Component):
+class DeterministicClockSync(TurpinCoanClock):
     """O(f)-convergence deterministic k-clock via cyclic agreement."""
-
-    def __init__(self, n: int, f: int, k: int) -> None:
-        super().__init__()
-        if k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {k}")
-        self.n = n
-        self.f = f
-        self.k = k
-        self.modulus = k
-        #: Rounds per agreement cycle (= beats per cycle).
-        self.depth = turpin_coan_rounds(f)
-        self.instance = TurpinCoanInstance(n, f, k, 0)
-        self.clock = 0
-
-    @property
-    def clock_value(self) -> int:
-        return self.clock
-
-    @property
-    def convergence_beats(self) -> int:
-        """Deterministic bound: a partial cycle plus one full cycle."""
-        return 2 * self.depth
-
-    def _round_index(self, beat: int) -> int:
-        """The agreement round scheduled at this beat (shared phase label)."""
-        return beat % self.depth + 1
-
-    def _instance_context(
-        self,
-        ctx: BeatContext,
-        inbox: list[tuple[int, Any]],
-        sending: bool,
-    ) -> InstanceContext:
-        emit = None
-        if sending:
-            def emit(receiver: int, payload: Any) -> None:
-                ctx.send(receiver, payload)
-
-        return InstanceContext(
-            node_id=ctx.node_id,
-            n=ctx.n,
-            f=ctx.f,
-            beat=ctx.beat,
-            rng=ctx.rng,
-            env=ctx.env,
-            path=ctx.path,
-            inbox=inbox,
-            emit=emit,
-        )
-
-    def on_send(self, ctx: BeatContext) -> None:
-        # The clock ticks every beat, like Fig. 4's line 2.
-        self.clock = (self.clock + 1) % self.k
-        round_index = self._round_index(ctx.beat)
-        if round_index == 1:
-            # New cycle: agree on the value this cycle's clock starts from.
-            self.instance = TurpinCoanInstance(self.n, self.f, self.k, self.clock)
-        self.instance.send_round(
-            round_index, self._instance_context(ctx, [], True)
-        )
-
-    def on_update(self, ctx: BeatContext) -> None:
-        round_index = self._round_index(ctx.beat)
-        inbox = [(e.sender, e.payload) for e in ctx.inbox]
-        self.instance.update_round(
-            round_index, self._instance_context(ctx, inbox, False)
-        )
-        if round_index == self.depth:
-            # Cycle complete: re-anchor.  The cycle's input was the clock
-            # at its first beat, which is depth - 1 ticks ago.
-            self.clock = (self.instance.output() + self.depth - 1) % self.k
-    def scramble(self, rng: random.Random) -> None:
-        self.clock = rng.randrange(self.k)
-        self.instance.scramble(rng)

@@ -8,9 +8,15 @@ line up, which takes expected ``k^(n-f-1)``-flavoured time — the
 exponential convergence the current paper's common-coin pipeline removes.
 
 This is a class-representative substitution, not a line-by-line port of
-[10] (whose pseudo-code is not in the reproduced paper); DESIGN.md
-documents the substitution, and the benches only rely on the *shape* —
-deterministic-linear vs expected-exponential vs expected-constant.
+[10] (Dolev & Welch, *Self-stabilizing clock synchronization in the
+presence of Byzantine faults*, whose pseudo-code is not in the
+reproduced paper); ``docs/baselines.md`` documents the substitution, and
+the benches only rely on the *shape* — deterministic-linear vs
+expected-exponential vs expected-constant.
+
+Registered as the ``dolev-welch`` protocol (see
+:mod:`repro.core.protocol`); run it through the unified CLI with
+``python -m repro run --protocol dolev-welch``.
 """
 
 from __future__ import annotations

@@ -22,11 +22,12 @@ from __future__ import annotations
 import random
 from typing import Any
 
+from repro.baselines.cyclic import CyclicAgreementClock
 from repro.baselines.phase_king import PhaseKingState, phase_king_rounds
 from repro.coin.interfaces import InstanceContext
 from repro.core.majority import BOTTOM, count_values, most_frequent
 
-__all__ = ["TurpinCoanInstance", "turpin_coan_rounds"]
+__all__ = ["TurpinCoanClock", "TurpinCoanInstance", "turpin_coan_rounds"]
 
 
 def turpin_coan_rounds(f: int) -> int:
@@ -110,3 +111,24 @@ class TurpinCoanInstance:
         self._proposal = rng.choice((None, rng.randrange(self.modulus)))
         self._ba = PhaseKingState(self.n, self.f, rng.randrange(2))
         self._ba.scramble(rng)
+
+
+class TurpinCoanClock(CyclicAgreementClock):
+    """O(f)-convergence k-clock via cyclic Turpin-Coan agreement.
+
+    The multivalued-substrate deterministic baseline: one Turpin-Coan
+    instance per 2 + 3(f + 1)-beat cycle, agreeing on the full clock
+    value directly (single n² exchange per beat, two distribution rounds
+    of overhead per cycle — compare :class:`~repro.baselines.phase_king.
+    PhaseKingClock`'s shorter cycle and wider messages).  Registered as
+    the ``turpin-coan`` protocol; the Table 1 row
+    :class:`~repro.baselines.det_clock_sync.DeterministicClockSync` *is*
+    this construction under its historical name — the two registrations
+    are pinned trajectory-identical in ``tests/test_protocol.py``.
+    """
+
+    def __init__(self, n: int, f: int, k: int) -> None:
+        super().__init__(n, f, k, depth=turpin_coan_rounds(f))
+
+    def _make_instance(self, value: int) -> TurpinCoanInstance:
+        return TurpinCoanInstance(self.n, self.f, self.k, value)

@@ -2,9 +2,10 @@
 
 Importing this package populates :data:`repro.bench.registry.REGISTRY`:
 the twelve benchmarks ported from the legacy ``benchmarks/bench_*.py``
-scripts plus the live-runtime throughput benchmark (every registration
-has a thin pytest shim under ``benchmarks/``).  Module name == registry
-name == shim file suffix.
+scripts, the live-runtime throughput benchmark, and the cross-protocol
+comparison over the Protocol seam (every registration has a thin pytest
+shim under ``benchmarks/``).  Module name == registry name == shim file
+suffix.
 """
 
 from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
@@ -18,6 +19,7 @@ from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
     gvss_stack,
     link_conditions,
     messages,
+    protocol_comparison,
     runtime_throughput,
     stabilization,
     table1,

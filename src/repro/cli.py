@@ -13,13 +13,16 @@ Commands:
   optional JSONL trace output (see :mod:`repro.runtime`);
 * ``bench`` — the unified benchmark subsystem (``list``, ``run``,
   ``compare``, ``gate``; see :mod:`repro.bench.cli`);
+* ``protocols`` — list the registered protocol catalog;
 * ``adversaries`` — list the built-in Byzantine strategies;
 * ``links`` — list the built-in link-condition models;
 * ``engines`` — list the built-in simulation engines;
 * ``transports`` — list the built-in runtime transports.
 
-``run`` and ``campaign`` accept ``--link`` (with ``--link-param k=v``) to
-degrade the network: bounded delay, omission loss, or scheduled
+``run``, ``campaign`` and ``runtime`` accept ``--protocol`` to select
+any registered protocol (``campaign`` takes several — a grid axis);
+``run`` and ``campaign`` accept ``--link`` (with ``--link-param k=v``)
+to degrade the network: bounded delay, omission loss, or scheduled
 partitions.  Every command is deterministic given ``--seed`` (campaigns:
 given the seed range, at any worker count, under any link model).
 """
@@ -46,6 +49,7 @@ from repro.analysis.campaign import (
     scenario_grid,
 )
 from repro.core.pipeline import CoinFlipPipeline
+from repro.core.protocol import DEFAULT_PROTOCOL, resolve_protocol
 from repro.errors import ConfigurationError
 from repro.net.engine import DEFAULT_ENGINE, ENGINES
 from repro.net.linkmodel import LINK_MODELS
@@ -125,7 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         demo.add_argument("--k", type=int, default=60, help="clock modulus")
         demo.add_argument(
-            "--coin", default="oracle", choices=["oracle", "gvss", "local"]
+            "--protocol", default=DEFAULT_PROTOCOL,
+            choices=sorted(PROTOCOL_REGISTRY),
+            help="registered protocol to run (see `repro protocols`)",
+        )
+        demo.add_argument(
+            "--coin", default="oracle", choices=["oracle", "gvss", "local"],
+            help="coin algorithm (only protocols that use a coin)",
         )
         demo.add_argument(
             "--adversary", default="none", choices=sorted(ADVERSARIES)
@@ -152,7 +162,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     runtime.add_argument("--k", type=int, default=8, help="clock modulus")
     runtime.add_argument(
-        "--coin", default="oracle", choices=["oracle", "gvss", "local"]
+        "--protocol", default=DEFAULT_PROTOCOL,
+        choices=sorted(PROTOCOL_REGISTRY),
+        help="registered protocol to run live (see `repro protocols`)",
+    )
+    runtime.add_argument(
+        "--coin", default="oracle", choices=["oracle", "gvss", "local"],
+        help="coin algorithm (only protocols that use a coin)",
     )
     runtime.add_argument(
         "--adversary", default="none", choices=sorted(ADVERSARIES),
@@ -190,7 +206,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a parallel experiment campaign over a scenario grid",
     )
     campaign.add_argument(
-        "--protocol", default="clock-sync", choices=sorted(PROTOCOL_REGISTRY)
+        "--protocol", nargs="+", default=[DEFAULT_PROTOCOL],
+        choices=sorted(PROTOCOL_REGISTRY),
+        help="registered protocols (grid axis)",
     )
     campaign.add_argument(
         "--coin", default="oracle", choices=sorted(COIN_REGISTRY)
@@ -242,6 +260,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     configure_bench_parser(commands)
 
+    commands.add_parser("protocols", help="list the registered protocol catalog")
     commands.add_parser("adversaries", help="list built-in Byzantine strategies")
     commands.add_parser("links", help="list built-in link-condition models")
     commands.add_parser("engines", help="list built-in simulation engines")
@@ -256,6 +275,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             n=args.n,
             f=args.f,
             k=args.k,
+            protocol=args.protocol,
             coin=args.coin,
             adversary=ADVERSARIES[args.adversary](),
             seed=args.seed,
@@ -267,9 +287,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     link_note = "" if args.link == "perfect" else f" link={args.link}{link_params}"
+    coin_note = (
+        f" coin={args.coin}" if resolve_protocol(args.protocol).uses_coin else ""
+    )
     print(
-        f"ss-Byz-Clock-Sync n={args.n} f={args.f} k={args.k} "
-        f"coin={args.coin} adversary={args.adversary} seed={args.seed}"
+        f"{args.protocol} n={args.n} f={args.f} k={args.k}"
+        f"{coin_note} adversary={args.adversary} seed={args.seed}"
         f"{link_note}"
     )
     for beat, values in enumerate(result.history[: args.show]):
@@ -292,14 +315,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
-    from repro.core.clock_sync import SSByzClockSync
-
+    protocol = resolve_protocol(args.protocol)
     coin_factory = coin_by_name(args.coin, args.n, args.f)
     try:
         result = run_runtime(
             args.n,
             args.f,
-            lambda _node_id: SSByzClockSync(args.k, coin_factory),
+            protocol.factory(args.n, args.f, args.k, coin_factory=coin_factory),
             adversary=ADVERSARIES[args.adversary](),
             seed=args.seed,
             beats=args.beats,
@@ -310,9 +332,10 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    coin_note = f" coin={args.coin}" if protocol.uses_coin else ""
     print(
-        f"live ss-Byz-Clock-Sync n={args.n} f={args.f} k={args.k} "
-        f"coin={args.coin} adversary={args.adversary} seed={args.seed} "
+        f"live {args.protocol} n={args.n} f={args.f} k={args.k}"
+        f"{coin_note} adversary={args.adversary} seed={args.seed} "
         f"transport={result.transport}"
     )
     for record in result.records[: args.show]:
@@ -442,8 +465,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             ks=args.k,
             adversaries=args.adversary,
             links=links,
+            protocols=args.protocol,
             fs=args.f,
-            protocol=args.protocol,
             coin=args.coin,
             max_beats=args.beats,
             scramble_beats=tuple(args.scramble_beats),
@@ -483,6 +506,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(campaign_to_json(entries), handle, indent=2)
         print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_protocols(_args: argparse.Namespace) -> int:
+    for name, protocol in sorted(PROTOCOL_REGISTRY.items()):
+        marker = "  (default)" if name == DEFAULT_PROTOCOL else ""
+        print(f"  {name:<14} {protocol.describe()}{marker}")
     return 0
 
 
@@ -531,6 +561,7 @@ _HANDLERS = {
     "campaign": _cmd_campaign,
     "runtime": _cmd_runtime,
     "bench": _cmd_bench,
+    "protocols": _cmd_protocols,
     "adversaries": _cmd_adversaries,
     "links": _cmd_links,
     "engines": _cmd_engines,

@@ -89,8 +89,9 @@ class TestRegistry:
         assert len(all_benchmarks()) == len(registered)  # no duplicates
 
     def test_registration_count(self):
-        # Twelve ported legacy entry points + the live-runtime benchmark.
-        assert len({b.name for b in all_benchmarks()}) == 13
+        # Twelve ported legacy entry points + the live-runtime benchmark
+        # + the cross-protocol comparison over the Protocol seam.
+        assert len({b.name for b in all_benchmarks()}) == 14
 
     def test_sources_point_at_their_shims(self):
         for bench in all_benchmarks():
@@ -506,7 +507,7 @@ class TestCheckedInArtifacts:
             key.split("/", 1)[0]
             for key in baselines["tiers"]["smoke"]
         }
-        assert smoke_benchmarks == {"link_conditions"}
+        assert smoke_benchmarks == {"link_conditions", "protocol_comparison"}
 
     def test_checked_in_summary_is_schema_valid(self):
         # The checked-in summary is a full-tier run, but any `bench run`

@@ -137,6 +137,70 @@ class TestLinkFlags:
         assert "delay" in err
 
 
+class TestProtocolFlags:
+    def test_protocols_listing(self, capsys):
+        from repro.analysis.campaign import PROTOCOL_REGISTRY
+
+        code = main(["protocols"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in PROTOCOL_REGISTRY:
+            assert name in out
+        assert "(default)" in out
+
+    @pytest.mark.parametrize(
+        "protocol", ["deterministic", "phase-king", "turpin-coan"]
+    )
+    def test_run_protocol_converges(self, protocol, capsys):
+        code = main(
+            ["run", "--n", "4", "--f", "1", "--k", "8", "--seed", "1",
+             "--protocol", protocol]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged at beat" in out
+        assert protocol in out
+
+    def test_run_default_protocol_unchanged(self, capsys):
+        main(["run", "--n", "4", "--f", "1", "--k", "10", "--seed", "7"])
+        implicit = capsys.readouterr().out
+        main(["run", "--n", "4", "--f", "1", "--k", "10", "--seed", "7",
+              "--protocol", "clock-sync"])
+        explicit = capsys.readouterr().out
+        assert implicit == explicit
+
+    def test_unknown_protocol_clean_exit_2(self, capsys):
+        """Registry error path: argparse rejects the name with exit 2."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--protocol", "quantum"])
+        assert excinfo.value.code == 2
+        assert "quantum" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--protocol", "quantum"])
+        assert excinfo.value.code == 2
+
+    def test_runtime_protocol_flag(self, capsys):
+        code = main(
+            ["runtime", "--n", "4", "--f", "1", "--k", "6",
+             "--protocol", "phase-king", "--seed", "0", "--beats", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "live phase-king" in out
+        assert "converged at beat" in out
+
+    def test_campaign_protocol_axis(self, capsys):
+        code = main(
+            ["campaign", "--n", "4", "--k", "6", "--seeds", "1",
+             "--beats", "150", "--workers", "1",
+             "--protocol", "clock-sync", "turpin-coan"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 scenarios x 1 seeds" in out
+        assert "turpin-coan" in out
+
+
 class TestOtherCommands:
     def test_table1(self, capsys):
         code = main(
@@ -260,7 +324,7 @@ class TestBenchCommand:
         assert code == 0
         for benchmark in all_benchmarks():
             assert benchmark.name in out
-        assert "13 benchmarks" in out
+        assert "14 benchmarks" in out
 
     def test_bench_list_tier_selection(self, capsys):
         code = main(["bench", "list", "--tier", "smoke"])

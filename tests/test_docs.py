@@ -33,5 +33,40 @@ def test_relative_links_resolve():
     assert check_docs.check_links(check_docs.markdown_files()) == []
 
 
+def test_heading_anchors_github_slugs():
+    anchors = check_docs.heading_anchors(REPO_ROOT / "ARCHITECTURE.md")
+    assert "the-protocol-seam-srcreprocoreprotocolpy" in anchors
+    assert "runtime-srcreproruntime" in anchors
+
+
+def test_broken_anchor_detected(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Title\n\n[ok](#title) [bad](#nope) [x](other.md#missing)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "other.md").write_text("# Other\n", encoding="utf-8")
+    failures = check_docs.check_links([page])
+    assert len(failures) == 2
+    assert any("#nope" in failure for failure in failures)
+    assert any("other.md#missing" in failure for failure in failures)
+
+
+def test_duplicate_headings_numbered(tmp_path):
+    page = tmp_path / "dup.md"
+    page.write_text("# Same\n\n# Same\n", encoding="utf-8")
+    assert {"same", "same-1"} <= check_docs.heading_anchors(page)
+
+
+def test_underscores_survive_slugs(tmp_path):
+    """github-slugger keeps underscores: `run_campaign` anchors with one."""
+    page = tmp_path / "api.md"
+    page.write_text(
+        "# The `run_campaign` API\n\n[ok](#the-run_campaign-api)\n",
+        encoding="utf-8",
+    )
+    assert check_docs.check_links([page]) == []
+
+
 def test_python_snippets_execute():
     assert check_docs.check_snippets(check_docs.markdown_files()) == []

@@ -10,9 +10,11 @@ ARCHITECTURE.md, ...):
   Python examples are guaranteed to keep working.
 * **Link resolution** — every relative Markdown link target
   (``[text](path)``) must exist on disk, resolved against the linking
-  file's directory.  External (``http(s)://``, ``mailto:``) and
-  pure-anchor (``#section``) links are ignored; a ``path#anchor``
-  target is checked for the path only.
+  file's directory.  External (``http(s)://``, ``mailto:``) links are
+  ignored.  Anchors are checked too: a pure-anchor ``#section`` link
+  must name a heading of its own file, and a ``path#anchor`` target
+  pointing at a Markdown file must name a heading of *that* file
+  (GitHub-style slugs, duplicate headings numbered ``-1``, ``-2``, ...).
 
 Run from the repository root (CI does)::
 
@@ -24,6 +26,7 @@ Exit code 0 when docs are healthy; 1 with a per-failure report otherwise.
 
 from __future__ import annotations
 
+import functools
 import pathlib
 import re
 import sys
@@ -39,6 +42,7 @@ _FENCE = re.compile(
 )
 # Inline markdown links [text](target); images ![alt](target) match too.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}[ \t]+(.+?)[ \t]*$", re.MULTILINE)
 
 
 def markdown_files(root: pathlib.Path = REPO_ROOT) -> list[pathlib.Path]:
@@ -74,25 +78,73 @@ def check_snippets(paths: list[pathlib.Path]) -> list[str]:
     return failures
 
 
-def relative_links(path: pathlib.Path) -> list[str]:
-    """Relative link targets in one file (anchors stripped)."""
-    targets = []
-    for target in _LINK.findall(path.read_text(encoding="utf-8")):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for one heading's text.
+
+    Punctuation (including markup backticks/asterisks) drops out;
+    underscores survive, as github-slugger keeps them.
+    """
+    text = re.sub(r"[^\w\s-]", "", heading.strip().lower())
+    return text.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def heading_anchors(path: pathlib.Path) -> set[str]:
+    """Every anchor a Markdown file's headings define (``#``-less).
+
+    Headings inside fenced code blocks do not anchor; duplicate
+    headings get ``-1``, ``-2``, ... suffixes, GitHub-style.  Cached per
+    path: a heavily cross-linked page is parsed once per run, not once
+    per inbound link.
+    """
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING.finditer(text):
+        slug = _slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def relative_links(path: pathlib.Path) -> list[tuple[str, str]]:
+    """``(target, anchor)`` pairs for one file's relative links.
+
+    ``target`` is empty for pure-anchor (same-file) links; ``anchor`` is
+    empty when the link carries none.  Links inside fenced code blocks
+    are illustrative, not navigation, and are skipped (matching
+    :func:`heading_anchors`, which ignores fenced headings).
+    """
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    links = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        targets.append(target.split("#", 1)[0])
-    return targets
+        base, _, anchor = target.partition("#")
+        links.append((base, anchor))
+    return links
 
 
 def check_links(paths: list[pathlib.Path]) -> list[str]:
-    """Verify every relative link resolves; return failure descriptions."""
+    """Verify every relative link (and its anchor, for Markdown targets)
+    resolves; return failure descriptions."""
     failures = []
     for path in paths:
-        for target in relative_links(path):
-            if not (path.parent / target).exists():
-                failures.append(
-                    f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
-                )
+        try:
+            label = path.relative_to(REPO_ROOT)
+        except ValueError:  # outside the checkout (tests use tmp dirs)
+            label = path
+        for target, anchor in relative_links(path):
+            resolved = (path.parent / target) if target else path
+            if not resolved.exists():
+                failures.append(f"{label}: broken link -> {target}")
+                continue
+            if anchor and (not target or target.endswith(".md")):
+                if anchor not in heading_anchors(resolved):
+                    failures.append(
+                        f"{label}: broken anchor -> {target}#{anchor}"
+                    )
     return failures
 
 
