@@ -61,6 +61,12 @@ def configure_parser(commands) -> None:
         help="aggregated summary path (default: repo-root "
              "BENCH_summary.json)",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="wrap each selected benchmark in cProfile and write "
+             "<results-dir>/<name>.prof (numbers carry overhead; never "
+             "refresh baselines from a profiled run)",
+    )
 
     compare = actions.add_parser(
         "compare", help="diff two BENCH_summary.json files"
@@ -138,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         results_dir=pathlib.Path(args.results_dir),
         summary_path=pathlib.Path(args.summary),
         progress=lambda name: print(f"  running {name} ..."),
+        profile=args.profile,
     )
     for name, entry in sorted(summary["benchmarks"].items()):
         status = "ok" if not entry["failures"] else "FAIL"

@@ -54,14 +54,33 @@ def run_benchmark(
     tier: str = "full",
     *,
     results_dir: "pathlib.Path | str | None" = RESULTS_DIR,
+    profile: bool = False,
 ) -> BenchReport:
     """Execute one benchmark at ``tier``; persist its report and tables.
 
     Pass ``results_dir=None`` to skip writing (pure in-memory run).
+    With ``profile``, the runner executes under :mod:`cProfile` and the
+    stats land in ``<results_dir>/<name>[.smoke].prof`` (load them with
+    ``python -m pstats``), so hot-path work starts from data.  Profiled
+    wall-clock numbers carry instrumentation overhead — never refresh
+    baselines from a profiled run.
     """
     params = benchmark.params_for(tier)
     started = time.perf_counter()
-    outcome = benchmark.runner(**params)
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        outcome = profiler.runcall(benchmark.runner, **params)
+        if results_dir is not None:
+            profile_dir = pathlib.Path(results_dir)
+            profile_dir.mkdir(parents=True, exist_ok=True)
+            suffix = ".smoke" if tier == "smoke" else ""
+            profiler.dump_stats(
+                profile_dir / f"{benchmark.name}{suffix}.prof"
+            )
+    else:
+        outcome = benchmark.runner(**params)
     report = BenchReport(
         benchmark=benchmark.name,
         tier=tier,
@@ -97,13 +116,15 @@ def run_tier(
     summary_path: "pathlib.Path | str | None" = SUMMARY_PATH,
     progress: Callable[[str], None] | None = None,
     benchmarks: "list[Benchmark] | None" = None,
+    profile: bool = False,
 ) -> dict:
     """Run a tier selection and write the aggregated summary.
 
     ``only`` names specific benchmarks (overriding the tier selection —
     the tier still picks their parameter set); ``benchmarks`` overrides
-    the selection outright (tests inject toys this way).  Returns the
-    summary record.
+    the selection outright (tests inject toys this way); ``profile``
+    wraps every selected runner in cProfile (see :func:`run_benchmark`).
+    Returns the summary record.
     """
     if benchmarks is None:
         if only is not None:
@@ -121,7 +142,11 @@ def run_tier(
     for benchmark in benchmarks:
         if progress is not None:
             progress(benchmark.name)
-        reports.append(run_benchmark(benchmark, tier, results_dir=results_dir))
+        reports.append(
+            run_benchmark(
+                benchmark, tier, results_dir=results_dir, profile=profile
+            )
+        )
     summary = summarize(reports, tier, elapsed_s=time.perf_counter() - started)
     if summary_path is not None:
         write_summary(summary, pathlib.Path(summary_path))

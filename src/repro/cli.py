@@ -20,7 +20,9 @@ Commands:
 * ``transports`` — list the built-in runtime transports.
 
 ``run``, ``campaign`` and ``runtime`` accept ``--protocol`` to select
-any registered protocol (``campaign`` takes several — a grid axis);
+any registered protocol (``campaign`` takes several — a grid axis) and
+``--engine`` to pick a simulation engine from the registry (the live
+runtime validates the name but owns its own message plane);
 ``run`` and ``campaign`` accept ``--link`` (with ``--link-param k=v``)
 to degrade the network: bounded delay, omission loss, or scheduled
 partitions.  Every command is deterministic given ``--seed`` (campaigns:
@@ -140,6 +142,10 @@ def _build_parser() -> argparse.ArgumentParser:
         demo.add_argument(
             "--adversary", default="none", choices=sorted(ADVERSARIES)
         )
+        demo.add_argument(
+            "--engine", default=DEFAULT_ENGINE, choices=sorted(ENGINES),
+            help="simulation engine (see `repro engines`)",
+        )
         demo.add_argument("--seed", type=int, default=0)
         demo.add_argument("--beats", type=int, default=200)
         demo.add_argument("--show", type=int, default=16, help="beats to print")
@@ -173,6 +179,12 @@ def _build_parser() -> argparse.ArgumentParser:
     runtime.add_argument(
         "--adversary", default="none", choices=sorted(ADVERSARIES),
         help="Byzantine strategy run as a live misbehaving peer",
+    )
+    runtime.add_argument(
+        "--engine", default=DEFAULT_ENGINE, choices=sorted(ENGINES),
+        help="accepted for interface symmetry and validated against the "
+             "registry; the live runtime owns its own message plane, so "
+             "the choice does not change execution",
     )
     runtime.add_argument("--seed", type=int, default=0)
     runtime.add_argument(
@@ -280,6 +292,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             adversary=ADVERSARIES[args.adversary](),
             seed=args.seed,
             max_beats=args.beats,
+            engine=args.engine,
             link=args.link,
             link_params=link_params,
         )
@@ -533,9 +546,8 @@ def _cmd_links(_args: argparse.Namespace) -> int:
 
 def _cmd_engines(_args: argparse.Namespace) -> int:
     for name, engine_cls in sorted(ENGINES.items()):
-        doc = (engine_cls.__doc__ or "").strip().splitlines()[0]
         marker = "  (default)" if name == DEFAULT_ENGINE else ""
-        print(f"  {name:<12} {doc}{marker}")
+        print(f"  {name:<12} {engine_cls.description}{marker}")
     return 0
 
 

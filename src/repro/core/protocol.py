@@ -78,6 +78,14 @@ class Protocol:
     resilience = "f < n/3"
     #: Whether the protocol consumes a common-coin factory.
     uses_coin = False
+    #: How the bulk engine executes this protocol: ``"vectorized"`` when
+    #: a structure-of-arrays program is registered for the protocol's
+    #: root component type (:mod:`repro.net.bulk`), ``"per-node"`` when
+    #: ``engine="bulk"`` falls back to the fast per-node path.  Catalog
+    #: metadata only — the engine decides from the actual component tree
+    #: (a clock-sync run over a message-passing coin falls back even
+    #: though the catalog row says vectorized).
+    bulk_execution = "per-node"
 
     def factory(
         self,
@@ -118,6 +126,7 @@ class ClockSyncProtocol(Protocol):
     paper = "Ben-Or, Dolev & Hoch (PODC 2008) — this repository's source"
     claimed_convergence = "expected O(1)"
     uses_coin = True
+    bulk_execution = "vectorized"
 
     def factory(
         self,
@@ -141,6 +150,7 @@ class DolevWelchProtocol(Protocol):
     name = "dolev-welch"
     paper = "Dolev & Welch-style local-coin randomization (Table 1, [10])"
     claimed_convergence = "expected O(2^(2(n-f)))"
+    bulk_execution = "vectorized"
 
     def factory(self, n, f, k, *, coin_factory=None, share_coin=False):
         return lambda _node_id: DolevWelchClock(k)

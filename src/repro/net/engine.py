@@ -5,7 +5,7 @@ send / adversary / delivery / update phase order, the fault model, the
 monitors.  An :class:`Engine` owns *how* the message plane of one beat is
 executed: collecting the send phase's output, showing the adversary its
 legal view, routing traffic into per-node per-component inboxes, and
-driving the update phase.  Two engines ship:
+driving the update phase.  Three engines ship:
 
 * :class:`ReferenceEngine` — the original object-per-envelope
   implementation built on :class:`~repro.net.network.Router`.  Every
@@ -20,10 +20,16 @@ driving the update phase.  Two engines ship:
   sender sort is skipped whenever envelopes were already produced in
   sender order (always true for pure-broadcast inboxes, because nodes run
   their send phases in ascending id order).
+* :class:`~repro.net.bulk.BulkEngine` — the campaign-scale path.  It
+  keeps per-node protocol state in structure-of-arrays form and executes
+  whole beats as batch operations for protocols that register a bulk
+  program (see :mod:`repro.net.bulk`), falling back to the fast path
+  otherwise.
 
-Both engines produce bit-identical runs: same per-node inbox contents in
+All engines produce bit-identical runs: same per-node inbox contents in
 the same delivery order, same traffic statistics, same RNG stream
-consumption.  ``tests/test_engines.py`` enforces this differentially.
+consumption.  ``tests/test_engines.py`` and ``tests/test_bulk_engine.py``
+enforce this differentially.
 
 Link conditions
 ---------------
@@ -95,6 +101,7 @@ class Engine(Protocol):
     """
 
     name: str
+    description: str
     stats: MessageStats
 
     def bind(self, simulation: "Simulation") -> None:
@@ -119,6 +126,10 @@ class ReferenceEngine:
     """
 
     name = "reference"
+    description = (
+        "object-per-envelope executable specification; the differential "
+        "baseline every other engine must match bit-for-bit"
+    )
 
     def __init__(self) -> None:
         self.stats = MessageStats()
@@ -268,6 +279,10 @@ class FastEngine:
     """
 
     name = "fast"
+    description = (
+        "fan-out-sharing default: one shared envelope per honest "
+        "broadcast instead of n copies, reused per-beat buffers"
+    )
 
     #: Merge-sort stage tags, mirroring the reference router's stable-sort
     #: insertion order for one sender: delayed arrivals (older traffic a
@@ -606,3 +621,10 @@ def resolve_engine(engine: "str | Engine") -> "Engine":
     raise ConfigurationError(
         f"engine must be a name or an Engine instance, got {engine!r}"
     )
+
+
+# The bulk engine lives in its own module (it is substantial) and
+# registers itself in ENGINES on import; importing it here keeps the
+# registry complete for anyone importing the engine seam.  This must stay
+# below the registry and class definitions the bulk module depends on.
+from repro.net import bulk as _bulk  # noqa: E402,F401

@@ -367,6 +367,15 @@ class PartitionLinks(LinkModel):
             for node_id in range(n):
                 self._group_of[node_id] = 0 if node_id < boundary else 1
 
+    def group_of(self, node_id: int) -> int:
+        """The partition group of ``node_id`` (valid after :meth:`bind`).
+
+        Rulings are a pure function of (schedule, groups), which is what
+        lets the bulk engine compute whole-lane intra-group delivery from
+        this map instead of calling :meth:`classify` per copy.
+        """
+        return self._group_of[node_id]
+
     def partitioned_at(self, beat: int) -> bool:
         """True when the partition window covers ``beat``."""
         if self.period is not None:

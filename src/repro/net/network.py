@@ -99,6 +99,16 @@ class MessageStats:
         self.dropped_messages += 1
         self.dropped_per_beat[envelope.beat] += 1
 
+    def record_dropped_block(self, beat: int, count: int) -> None:
+        """Account ``count`` same-beat link casualties in O(1).
+
+        Equivalent to ``count`` :meth:`record_dropped` calls for envelopes
+        of one beat; the bulk engine uses it to charge a whole broadcast
+        lane's cross-partition losses without materializing the copies.
+        """
+        self.dropped_messages += count
+        self.dropped_per_beat[beat] += count
+
     def record_delayed(self, envelope: Envelope) -> None:
         """Account one envelope deferred past its send beat."""
         self.delayed_messages += 1

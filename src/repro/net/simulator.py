@@ -69,10 +69,12 @@ class Simulation:
             deliberately cross the f < n/3 bound (the F3 resilience bench);
             protocols are *expected* to fail there.
         engine: execution engine — a name from
-            :data:`~repro.net.engine.ENGINES` (``"fast"`` or
+            :data:`~repro.net.engine.ENGINES` (``"fast"``, ``"bulk"`` or
             ``"reference"``) or a fresh :class:`~repro.net.engine.Engine`
-            instance.  Both engines produce bit-identical runs; the fast
-            one shares broadcast fan-outs instead of copying envelopes.
+            instance.  All engines produce bit-identical runs; the fast
+            one shares broadcast fan-outs instead of copying envelopes,
+            the bulk one batch-executes whole beats over
+            structure-of-arrays state for supported protocols.
         link: link-condition model — a name from
             :data:`~repro.net.linkmodel.LINK_MODELS` (``"perfect"``,
             ``"delay"``, ``"lossy"``, ``"partition"``) or a fresh
@@ -185,6 +187,12 @@ class Simulation:
                 )
         for node_id in targets:
             self.nodes[node_id].scramble(self._fault_rng)
+        # Engines mirroring node state out-of-tree (the bulk engine's SoA
+        # rows) must observe external writes; the hook is optional so the
+        # reference/fast engines stay oblivious.
+        notify = getattr(self.engine, "notify_state_written", None)
+        if notify is not None:
+            notify(list(targets))
 
     def inject_phantoms(self, envelopes: list[Envelope]) -> None:
         """Queue phantom messages for the next beat's delivery."""

@@ -241,6 +241,25 @@ class TestHarness:
         reloaded = json.loads(summary_path.read_text())
         assert reloaded["results"] == summary["results"]
 
+    def test_profile_writes_pstats_artifact(self, toy_benchmark, tmp_path):
+        import pstats
+
+        report = run_benchmark(
+            toy_benchmark, "full", results_dir=tmp_path, profile=True
+        )
+        assert report.outcome.ok  # profiling must not change the outcome
+        stats = pstats.Stats(str(tmp_path / "toy.prof"))
+        assert stats.total_calls > 0
+        run_benchmark(toy_benchmark, "smoke", results_dir=tmp_path,
+                      profile=True)
+        assert (tmp_path / "toy.smoke.prof").exists()
+
+    def test_profile_in_memory_run_skips_artifact(self, toy_benchmark):
+        report = run_benchmark(
+            toy_benchmark, "full", results_dir=None, profile=True
+        )
+        assert report.outcome.ok
+
     def test_validate_summary_rejects_junk(self):
         with pytest.raises(ValueError):
             validate_summary([])
@@ -507,7 +526,17 @@ class TestCheckedInArtifacts:
             key.split("/", 1)[0]
             for key in baselines["tiers"]["smoke"]
         }
-        assert smoke_benchmarks == {"link_conditions", "protocol_comparison"}
+        # engines contributes its gated per-engine trajectory digests
+        # (simulation-deterministic, so pinnable at every tier).
+        assert smoke_benchmarks == {
+            "engines", "link_conditions", "protocol_comparison"
+        }
+        for tier in ("smoke", "full", "nightly"):
+            engine_keys = [
+                key for key in baselines["tiers"][tier]
+                if key.startswith("engines/trajectory_match")
+            ]
+            assert len(engine_keys) == 6  # 3 engines x 2 digest cases
 
     def test_checked_in_summary_is_schema_valid(self):
         # The checked-in summary is a full-tier run, but any `bench run`

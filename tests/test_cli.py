@@ -201,6 +201,51 @@ class TestProtocolFlags:
         assert "turpin-coan" in out
 
 
+class TestEngineFlags:
+    def test_engines_listing_prints_descriptions(self, capsys):
+        from repro.net.engine import ENGINES
+
+        code = main(["engines"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert set(ENGINES) == {"reference", "fast", "bulk"}
+        for name, engine_cls in ENGINES.items():
+            assert name in out
+            assert engine_cls.description in out
+        assert "(default)" in out
+
+    def test_run_engine_flag_bit_identical_to_default(self, capsys):
+        main(["run", "--n", "4", "--f", "1", "--k", "10", "--seed", "7"])
+        default = capsys.readouterr().out
+        code = main(["run", "--n", "4", "--f", "1", "--k", "10",
+                     "--seed", "7", "--engine", "bulk"])
+        bulk = capsys.readouterr().out
+        assert code == 0
+        assert default == bulk
+
+    def test_run_reference_engine_selectable(self, capsys):
+        code = main(["run", "--n", "4", "--f", "1", "--k", "10",
+                     "--seed", "7", "--engine", "reference"])
+        assert code == 0
+        assert "converged at beat" in capsys.readouterr().out
+
+    def test_runtime_engine_flag_validated(self, capsys):
+        code = main(
+            ["runtime", "--n", "4", "--f", "1", "--k", "6",
+             "--seed", "0", "--beats", "30", "--engine", "bulk"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged at beat" in out
+
+    @pytest.mark.parametrize("command", ["run", "runtime", "campaign"])
+    def test_unknown_engine_exits_2(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--engine", "warp"])
+        assert excinfo.value.code == 2
+        assert "warp" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_table1(self, capsys):
         code = main(
@@ -344,6 +389,16 @@ class TestBenchCommand:
         assert "engines" in out and "wrote" in out
         assert summary_path.exists()
         assert (tmp_path / "engines.smoke.json").exists()
+
+    def test_bench_run_profile_writes_prof(self, tmp_path, capsys):
+        summary_path = tmp_path / "BENCH_summary.json"
+        code = main(
+            ["bench", "run", "--tier", "smoke", "--only", "engines",
+             "--profile",
+             "--results-dir", str(tmp_path), "--summary", str(summary_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "engines.smoke.prof").exists()
 
     def test_bench_gate_against_checked_in_artifacts(self, tmp_path, capsys):
         """A fresh smoke run of the deterministic sweep gates cleanly

@@ -194,16 +194,20 @@ class TestEngineApi:
             resolve_engine(42)  # type: ignore[arg-type]
 
     def test_engine_instances_are_single_use(self):
-        for engine_factory in (FastEngine, ReferenceEngine):
+        from repro.net.bulk import BulkEngine
+
+        for engine_factory in (FastEngine, ReferenceEngine, BulkEngine):
             engine = engine_factory()
             Simulation(4, 1, lambda i: MixedSender(), engine=engine)
             with pytest.raises(ConfigurationError):
                 Simulation(4, 1, lambda i: MixedSender(), engine=engine)
 
     def test_registry_names(self):
-        assert set(ENGINES) == {"reference", "fast"}
+        assert set(ENGINES) == {"reference", "fast", "bulk"}
         for name in ENGINES:
-            assert isinstance(resolve_engine(name), Engine)
+            engine = resolve_engine(name)
+            assert isinstance(engine, Engine)
+            assert isinstance(engine.description, str) and engine.description
 
     def test_stats_shared_identity(self):
         sim = Simulation(4, 1, lambda i: MixedSender())
