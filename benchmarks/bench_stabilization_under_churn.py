@@ -1,0 +1,19 @@
+"""Dynamic-world stabilization: re-convergence across membership churn.
+
+Thin pytest shim over the ``stabilization_under_churn`` registration in
+the benchmark registry — the experiment's full definition (the churn
+script, metrics, qualitative checks) lives in
+``src/repro/bench/suites/stabilization_under_churn.py``.  Running this
+file executes the benchmark at the full tier and regenerates its blocks
+under ``benchmarks/results/``.
+
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only stabilization_under_churn
+"""
+
+from __future__ import annotations
+
+
+def test_stabilization_under_churn(run_registered):
+    run_registered("stabilization_under_churn")

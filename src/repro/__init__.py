@@ -145,6 +145,7 @@ def synchronize(
     engine: str = "fast",
     link: str = "perfect",
     link_params: dict | None = None,
+    churn: object = None,
 ) -> TrialResult:
     """Run a registered protocol from a worst-case scrambled state.
 
@@ -160,7 +161,15 @@ def synchronize(
     simulation engine (``"fast"`` or ``"reference"``); ``link`` (with
     ``link_params``) degrades the network beyond the paper's model — e.g.
     ``link="lossy", link_params={"loss": 0.1}`` drops 10% of envelopes.
+    ``churn`` scripts membership events — a
+    :class:`~repro.faults.dynamic.ChurnSchedule` or an iterable of
+    ``(beat, kind, node_ids)`` triples, e.g.
+    ``churn=[(25, "crash", (0,)), (40, "recover", (0,))]``; convergence
+    is then measured from the last membership event.
     """
+    from repro.faults.dynamic import ChurnSchedule
+
+    schedule = ChurnSchedule.coerce(churn)
     coin_factory = coin_by_name(coin, n, f)
     config = TrialConfig(
         n=n,
@@ -176,5 +185,6 @@ def synchronize(
         engine=engine,
         link=link,
         link_params=normalize_link_params(link_params),
+        churn=schedule.normalized() if schedule is not None else (),
     )
     return run_trial(config, seed)

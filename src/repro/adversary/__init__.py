@@ -1,5 +1,6 @@
 """Byzantine adversary framework and strategies (paper §2 fault model)."""
 
+from repro.adversary.adaptive import AdaptiveAdversary, AdaptiveEchoAdversary
 from repro.adversary.anti_coin import AntiCoinClock2Adversary
 from repro.adversary.base import Adversary, AdversaryView, NullAdversary
 from repro.adversary.bisector import BisectorAdversary
@@ -15,6 +16,8 @@ from repro.adversary.strategies import (
 )
 
 __all__ = [
+    "AdaptiveAdversary",
+    "AdaptiveEchoAdversary",
     "Adversary",
     "AdversaryView",
     "AntiCoinClock2Adversary",

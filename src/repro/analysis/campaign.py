@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.adversary import (
+    AdaptiveEchoAdversary,
     CrashAdversary,
     DealerAttackAdversary,
     EquivocatorAdversary,
@@ -49,6 +50,7 @@ from repro.coin.local import LocalCoin
 from repro.coin.oracle import OracleCoin
 from repro.core.protocol import DEFAULT_PROTOCOL, PROTOCOLS, resolve_protocol
 from repro.errors import ConfigurationError
+from repro.faults.dynamic import ChurnSchedule
 from repro.net.linkmodel import LINK_MODELS, make_link, normalize_link_params
 
 __all__ = [
@@ -69,6 +71,7 @@ __all__ = [
 #: the CLI's ``--adversary`` flags.
 ADVERSARY_REGISTRY: dict[str, type | None] = {
     "none": None,
+    "adaptive": AdaptiveEchoAdversary,
     "crash": CrashAdversary,
     "noise": RandomNoiseAdversary,
     "equivocator": EquivocatorAdversary,
@@ -123,6 +126,10 @@ class ScenarioSpec:
             ``(name, value)`` pairs (dicts are normalized by
             :func:`scenario_grid` / the CLI); e.g.
             ``(("max_delay", 2),)`` for ``link="delay"``.
+        churn: membership churn schedule as normalized
+            ``(beat, kind, node_ids)`` triples (see
+            :meth:`~repro.faults.dynamic.ChurnSchedule.normalized`);
+            empty means a static world.
         share_coin: Remark 4.1's shared coin pipeline (clock-sync only).
         coin_p0, coin_p1, coin_rounds: oracle-coin tuning; ``None`` keeps
             the :class:`~repro.coin.oracle.OracleCoin` defaults.
@@ -143,6 +150,7 @@ class ScenarioSpec:
     engine: str = "fast"
     link: str = "perfect"
     link_params: tuple[tuple[str, object], ...] = ()
+    churn: tuple[tuple[int, str, tuple[int, ...]], ...] = ()
     share_coin: bool = False
     coin_p0: float | None = None
     coin_p1: float | None = None
@@ -168,6 +176,19 @@ class ScenarioSpec:
         # Building the model validates both the name and the parameters
         # eagerly, in the driving process — not beats into a worker trial.
         make_link(self.link, dict(self.link_params))
+        # Same eager policy for the churn script: replay the membership
+        # state machine and check id range / beat budget here.  (Overlap
+        # with the *faulty* set re-validates inside each trial — the
+        # adversary picks its coalition at simulation-build time.)
+        schedule = ChurnSchedule.coerce(self.churn)
+        if schedule is not None:
+            if not 0 <= schedule.last_event_beat < self.max_beats:
+                raise ConfigurationError(
+                    f"churn schedule {schedule.describe()} has events at or "
+                    f"beyond max_beats={self.max_beats}; they would "
+                    "silently never fire"
+                )
+            schedule.validate_for(self.n, frozenset())
 
     @property
     def label(self) -> str:
@@ -188,6 +209,9 @@ class ScenarioSpec:
             )
         if self.scramble_beats:
             parts.append(f"storms={list(self.scramble_beats)}")
+        if self.churn:
+            schedule = ChurnSchedule.coerce(self.churn)
+            parts.append(f"churn[{schedule.describe()}]")
         if self.tag:
             parts.append(self.tag)
         return " ".join(parts)
@@ -237,6 +261,7 @@ class ScenarioSpec:
             engine=spec.engine,
             link=spec.link,
             link_params=spec.link_params,
+            churn=spec.churn,
         )
 
 

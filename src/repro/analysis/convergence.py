@@ -31,9 +31,12 @@ class ClockConvergenceMonitor:
         self._streak_start: int | None = None
 
     def __call__(self, simulation: "Simulation", beat: int) -> None:
+        # Active roots: under membership churn only the nodes currently
+        # running count toward synchronization (a crashed machine holds no
+        # opinion).  Without churn this is every correct node, unchanged.
         values = tuple(
             root.clock_value
-            for _, root in sorted(simulation.honest_roots().items())
+            for _, root in sorted(simulation.active_roots().items())
         )
         history = self.history
         if not is_clock_synched(values):

@@ -59,6 +59,11 @@ class TrialConfig:
             tuple of ``(name, value)`` pairs so configs stay hashable and
             picklable (see
             :func:`~repro.net.linkmodel.normalize_link_params`).
+        churn: membership churn schedule in the normalized tuple form
+            :meth:`~repro.faults.dynamic.ChurnSchedule.normalized` emits
+            — ``(beat, kind, node_ids)`` triples, hashable and picklable;
+            empty means a static world.  Convergence is measured from the
+            last fault of any kind (scramble *or* membership event).
     """
 
     n: int
@@ -74,6 +79,7 @@ class TrialConfig:
     engine: str = "fast"
     link: str = "perfect"
     link_params: tuple[tuple[str, object], ...] = ()
+    churn: tuple[tuple[int, str, tuple[int, ...]], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -111,9 +117,10 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
     """Run one scrambled-start convergence trial.
 
     The trial executes at most ``config.max_beats`` beats, but stops as
-    soon as (a) every fault scheduled in ``config.scramble_beats`` has
-    been injected and (b) the system has stayed clock-synched and in
-    closure for ``config.closure_window`` beats beyond its convergence
+    soon as (a) every scheduled fault — ``config.scramble_beats`` *and*
+    every ``config.churn`` membership event — has fired and (b) the
+    system has stayed clock-synched and in closure for
+    ``config.closure_window`` beats beyond its convergence
     beat — after that, extra beats cannot change the reported convergence.
     Pass ``early_stop=False`` to always burn the full budget (e.g. to
     measure steady-state traffic over a fixed horizon).
@@ -126,6 +133,7 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
         seed=seed,
         engine=config.engine,
         link=make_link(config.link, dict(config.link_params)),
+        churn=config.churn or None,
     )
     monitor = ClockConvergenceMonitor(config.k)
     simulation.add_monitor(monitor)
@@ -138,7 +146,14 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
             f"[0, max_beats={config.max_beats}) or they would silently "
             "never fire"
         )
-    last_fault = max(scramble_beats, default=0)
+    churn_beats = frozenset(beat for beat, _, _ in config.churn)
+    if any(not 0 <= beat < config.max_beats for beat in churn_beats):
+        raise ConfigurationError(
+            f"churn beats {sorted(churn_beats)} must lie within "
+            f"[0, max_beats={config.max_beats}) or those membership "
+            "events would silently never fire"
+        )
+    last_fault = max(scramble_beats | churn_beats, default=0)
     window = max(1, config.closure_window)
     beats_run = 0
     for beat in range(config.max_beats):

@@ -22,5 +22,6 @@ from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
     protocol_comparison,
     runtime_throughput,
     stabilization,
+    stabilization_under_churn,
     table1,
 )

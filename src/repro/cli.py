@@ -24,9 +24,12 @@ any registered protocol (``campaign`` takes several — a grid axis) and
 ``--engine`` to pick a simulation engine from the registry (the live
 runtime validates the name but owns its own message plane);
 ``run`` and ``campaign`` accept ``--link`` (with ``--link-param k=v``)
-to degrade the network: bounded delay, omission loss, or scheduled
-partitions.  Every command is deterministic given ``--seed`` (campaigns:
-given the seed range, at any worker count, under any link model).
+to degrade the network: bounded delay, omission loss, scheduled
+partitions, or waypoint mobility — plus the dynamic-world flags
+``--churn BEAT:KIND:IDS`` (membership events: crash, recover, join,
+leave), ``--mobility`` and ``--adaptive``.  Every command is
+deterministic given ``--seed`` (campaigns: given the seed range, at any
+worker count, under any link model or churn schedule).
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ from repro.analysis.campaign import (
 from repro.core.pipeline import CoinFlipPipeline
 from repro.core.protocol import DEFAULT_PROTOCOL, resolve_protocol
 from repro.errors import ConfigurationError
+from repro.faults.dynamic import parse_churn_events
 from repro.net.engine import DEFAULT_ENGINE, ENGINES
 from repro.net.linkmodel import LINK_MODELS
 from repro.net.simulator import Simulation
@@ -64,6 +68,32 @@ ADVERSARIES: dict[str, Callable[[], Adversary | None]] = {
     name: (lambda: None) if cls is None else cls
     for name, cls in ADVERSARY_REGISTRY.items()
 }
+
+
+def _add_dynamic_arguments(
+    parser: argparse.ArgumentParser, *, grid: bool
+) -> None:
+    """Attach the dynamic-world flags: ``--churn``, ``--mobility``,
+    ``--adaptive``."""
+    parser.add_argument(
+        "--churn", action="append", default=[], metavar="BEAT:KIND:IDS",
+        help="membership event (repeatable): kind is crash, recover, join "
+             "or leave, e.g. --churn 25:crash:0,1 --churn 40:recover:0,1"
+             + ("; applies to every scenario on the grid" if grid else ""),
+    )
+    parser.add_argument(
+        "--mobility", action="store_true",
+        help="waypoint-mobility link model (shorthand for "
+             + ("adding mobility to --link" if grid else "--link mobility")
+             + "; tune with --link-param world/radius/leg_beats)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive adversary conditioning on the previous beat's "
+             "observed honest traffic (shorthand for "
+             + ("adding adaptive to --adversary" if grid else
+                "--adversary adaptive") + ")",
+    )
 
 
 def _parse_link_param(raw: str) -> tuple[str, object]:
@@ -150,6 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
         demo.add_argument("--beats", type=int, default=200)
         demo.add_argument("--show", type=int, default=16, help="beats to print")
         _add_link_arguments(demo, grid=False)
+        _add_dynamic_arguments(demo, grid=False)
 
     table1 = commands.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--n", type=int, default=7)
@@ -259,6 +290,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--engine", default="fast", choices=sorted(ENGINES))
     _add_link_arguments(campaign, grid=True)
+    _add_dynamic_arguments(campaign, grid=True)
     campaign.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: one per CPU)",
@@ -282,31 +314,38 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     link_params = dict(args.link_param)
+    link = "mobility" if args.mobility else args.link
+    adversary_name = "adaptive" if args.adaptive else args.adversary
     try:
+        churn = (
+            parse_churn_events(args.churn).normalized() if args.churn else None
+        )
         result = synchronize(
             n=args.n,
             f=args.f,
             k=args.k,
             protocol=args.protocol,
             coin=args.coin,
-            adversary=ADVERSARIES[args.adversary](),
+            adversary=ADVERSARIES[adversary_name](),
             seed=args.seed,
             max_beats=args.beats,
             engine=args.engine,
-            link=args.link,
+            link=link,
             link_params=link_params,
+            churn=churn,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    link_note = "" if args.link == "perfect" else f" link={args.link}{link_params}"
+    link_note = "" if link == "perfect" else f" link={link}{link_params}"
     coin_note = (
         f" coin={args.coin}" if resolve_protocol(args.protocol).uses_coin else ""
     )
+    churn_note = f" churn={','.join(args.churn)}" if args.churn else ""
     print(
         f"{args.protocol} n={args.n} f={args.f} k={args.k}"
-        f"{coin_note} adversary={args.adversary} seed={args.seed}"
-        f"{link_note}"
+        f"{coin_note} adversary={adversary_name} seed={args.seed}"
+        f"{link_note}{churn_note}"
     )
     for beat, values in enumerate(result.history[: args.show]):
         cells = " ".join(
@@ -472,11 +511,20 @@ def _link_axis(
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
-        links = _link_axis(args.link, dict(args.link_param))
+        link_names = list(args.link)
+        if args.mobility and "mobility" not in link_names:
+            link_names.append("mobility")
+        adversaries = list(args.adversary)
+        if args.adaptive and "adaptive" not in adversaries:
+            adversaries.append("adaptive")
+        churn = (
+            parse_churn_events(args.churn).normalized() if args.churn else ()
+        )
+        links = _link_axis(link_names, dict(args.link_param))
         specs = scenario_grid(
             args.n,
             ks=args.k,
-            adversaries=args.adversary,
+            adversaries=adversaries,
             links=links,
             protocols=args.protocol,
             fs=args.f,
@@ -486,6 +534,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             early_stop=not args.no_early_stop,
             closure_window=args.closure_window,
             engine=args.engine,
+            churn=churn,
         )
         for spec in specs:
             spec.validate()

@@ -1,6 +1,6 @@
-"""The fault model: transient memory faults, network incoherence, links.
+"""The fault model: transient faults, network incoherence, links, churn.
 
-Three fault families compose into the self-stabilization scenarios:
+Four fault families compose into the self-stabilization scenarios:
 
 * **Transient faults** (:mod:`repro.faults.transient`) — node memory
   "altered in an arbitrary fashion": :func:`scramble_now` and
@@ -14,14 +14,28 @@ Three fault families compose into the self-stabilization scenarios:
   delivery phases.  Unlike a one-shot phantom storm these persist for as
   long as the model says, which is what the bounded-delay and
   message-adversary follow-on literature studies.
+* **Dynamic-world faults** (:mod:`repro.faults.dynamic`) — membership
+  itself as a fault axis: :class:`ChurnSchedule` scripts per-beat
+  crash / recover-with-scrambled-state / join / leave events, the
+  :class:`~repro.net.linkmodel.MobilityLinks` model (re-exported here)
+  drifts peers in and out of radio range, and
+  :class:`~repro.adversary.adaptive.AdaptiveAdversary` strategies pick
+  their attack from the previous beat's observed honest traffic.
 """
 
+from repro.faults.dynamic import (
+    CHURN_EVENT_KINDS,
+    ChurnEvent,
+    ChurnSchedule,
+    parse_churn_events,
+)
 from repro.faults.network_faults import inject_phantom_storm, random_phantoms
 from repro.faults.transient import TransientFaultSchedule, scramble_now
 from repro.net.linkmodel import (
     BoundedDelayLinks,
     LinkModel,
     LossyLinks,
+    MobilityLinks,
     PartitionLinks,
     PerfectLinks,
     make_link,
@@ -29,13 +43,18 @@ from repro.net.linkmodel import (
 
 __all__ = [
     "BoundedDelayLinks",
+    "CHURN_EVENT_KINDS",
+    "ChurnEvent",
+    "ChurnSchedule",
     "LinkModel",
     "LossyLinks",
+    "MobilityLinks",
     "PartitionLinks",
     "PerfectLinks",
     "TransientFaultSchedule",
     "inject_phantom_storm",
     "make_link",
+    "parse_churn_events",
     "random_phantoms",
     "scramble_now",
 ]

@@ -1,0 +1,259 @@
+"""Dynamic-world faults: membership churn schedules.
+
+Everything else in :mod:`repro.faults` perturbs a *static* world — a
+fixed node set whose memory or network misbehaves.  This module makes
+membership itself a fault axis, the regime the follow-on literature
+(bounded-delay pulse resynchronization, mobile/ad-hoc synchronization)
+actually evaluates:
+
+* :class:`ChurnSchedule` — a declarative per-beat script of membership
+  events threaded through :class:`~repro.net.simulator.Simulation`:
+
+  - ``crash``  — a correct node stops participating (its state freezes,
+    its traffic stops; in-flight messages to it land in inboxes it never
+    reads);
+  - ``recover`` — a crashed node resumes *with scrambled state* (a
+    recovering machine remembers nothing trustworthy — the
+    self-stabilization reading of a reboot);
+  - ``join``   — a node that was absent from beat 0 boots (pristine
+    protocol start state) and starts participating;
+  - ``leave``  — a node departs permanently.
+
+  Events apply at the *start* of their beat, before the send phase, so a
+  beat-``b`` crash means "no traffic from this node at beat ``b`` or
+  later" and a beat-``b`` recovery is first observable in beat ``b``'s
+  end-of-beat snapshot.
+
+The two sibling axes of the dynamic-world pack live with their seams and
+are re-exported from :mod:`repro.faults`:
+:class:`~repro.net.linkmodel.MobilityLinks` (a
+proximity-driven time-varying link model) and
+:class:`~repro.adversary.adaptive.AdaptiveAdversary` (a strategy that
+conditions on the previous beat's observed honest traffic).
+
+Determinism: a schedule is plain data, applied by the simulation itself
+(not by any engine), and recovery scrambles draw from the simulation's
+dedicated ``"faults"`` RNG stream — so a churned run is bit-identical
+across the reference, fast and bulk engines and across campaign worker
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CHURN_EVENT_KINDS",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "parse_churn_events",
+]
+
+#: The membership event kinds, in no particular order.
+CHURN_EVENT_KINDS = ("crash", "recover", "join", "leave")
+
+#: Per-node membership statuses tracked while validating a schedule.
+_ACTIVE, _CRASHED, _PENDING, _DEPARTED = "active", "crashed", "pending", "departed"
+
+#: Legal transitions: event kind -> (required status, resulting status).
+_TRANSITIONS = {
+    "crash": (_ACTIVE, _CRASHED),
+    "recover": (_CRASHED, _ACTIVE),
+    "join": (_PENDING, _ACTIVE),
+    "leave": (_ACTIVE, _DEPARTED),
+}
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership event: ``kind`` applied to ``node_ids`` at ``beat``."""
+
+    beat: int
+    kind: str
+    node_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.beat < 0:
+            raise ConfigurationError(
+                f"churn event beat must be non-negative, got {self.beat}"
+            )
+        if self.kind not in CHURN_EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown churn event kind {self.kind!r}; "
+                f"known kinds: {sorted(CHURN_EVENT_KINDS)}"
+            )
+        object.__setattr__(
+            self, "node_ids", tuple(int(i) for i in self.node_ids)
+        )
+        if not self.node_ids:
+            raise ConfigurationError(
+                f"churn event {self.kind!r}@{self.beat} names no node ids"
+            )
+        if any(i < 0 for i in self.node_ids):
+            raise ConfigurationError(
+                f"churn event {self.kind!r}@{self.beat} names a negative "
+                "node id"
+            )
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConfigurationError(
+                f"churn event {self.kind!r}@{self.beat} repeats a node id"
+            )
+
+    def describe(self) -> str:
+        ids = "+".join(str(i) for i in self.node_ids)
+        return f"{self.beat}:{self.kind}:{ids}"
+
+
+class ChurnSchedule:
+    """A validated, replayable script of membership events.
+
+    Args:
+        events: an iterable of :class:`ChurnEvent` or plain
+            ``(beat, kind, node_ids)`` tuples (the picklable form
+            :meth:`normalized` emits — campaign specs carry that).
+
+    Events are sorted by beat (stable: same-beat events keep their given
+    order).  Construction replays the whole script against a membership
+    state machine, so an impossible schedule — crashing an absent node,
+    recovering one that never crashed, joining twice, anything after a
+    leave — fails *here*, in the driving process, not beats into a run.
+
+    A node id that appears in any ``join`` event is *initially absent*:
+    it is built at simulation start (so ids and seeds stay stable) but
+    participates only from its join beat on.
+    """
+
+    def __init__(self, events: Iterable["ChurnEvent | tuple"]) -> None:
+        coerced = [
+            event if isinstance(event, ChurnEvent) else ChurnEvent(*event)
+            for event in events
+        ]
+        self.events: tuple[ChurnEvent, ...] = tuple(
+            sorted(coerced, key=lambda event: event.beat)
+        )
+        if not self.events:
+            raise ConfigurationError("a churn schedule needs at least one event")
+        self.joining_ids: frozenset[int] = frozenset(
+            i
+            for event in self.events
+            if event.kind == "join"
+            for i in event.node_ids
+        )
+        self._by_beat: dict[int, list[ChurnEvent]] = {}
+        for event in self.events:
+            self._by_beat.setdefault(event.beat, []).append(event)
+        self._replay()
+
+    def _replay(self) -> None:
+        status: dict[int, str] = {i: _PENDING for i in self.joining_ids}
+        for event in self.events:
+            required, result = _TRANSITIONS[event.kind]
+            for node_id in event.node_ids:
+                current = status.get(node_id, _ACTIVE)
+                if current != required:
+                    raise ConfigurationError(
+                        f"churn event {event.describe()} needs node "
+                        f"{node_id} to be {required}, but the schedule "
+                        f"leaves it {current} there"
+                    )
+                status[node_id] = result
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def touched_ids(self) -> frozenset[int]:
+        """Every node id any event names."""
+        return frozenset(
+            i for event in self.events for i in event.node_ids
+        )
+
+    @property
+    def last_event_beat(self) -> int:
+        """The final beat at which membership still changes."""
+        return self.events[-1].beat
+
+    def events_at(self, beat: int) -> Sequence[ChurnEvent]:
+        """The events applying at the start of ``beat`` (often empty)."""
+        return self._by_beat.get(beat, ())
+
+    def validate_for(self, n: int, faulty_ids: frozenset[int]) -> None:
+        """Check the schedule against one simulation's population.
+
+        Churn is a *correct-node* fault: faulty nodes have no state or
+        tower to crash (the adversary speaks for them), so naming one —
+        or an id outside ``range(n)`` — is a configuration error.
+        """
+        out_of_range = sorted(i for i in self.touched_ids if i >= n)
+        if out_of_range:
+            raise ConfigurationError(
+                f"churn schedule names node ids {out_of_range}, but the "
+                f"simulation has only n={n} nodes"
+            )
+        faulty = sorted(self.touched_ids & faulty_ids)
+        if faulty:
+            raise ConfigurationError(
+                f"churn schedule names faulty node ids {faulty}; churn "
+                "applies to correct nodes only (the adversary speaks for "
+                "the faulty ones)"
+            )
+
+    # -- picklable form ----------------------------------------------------
+
+    def normalized(self) -> tuple[tuple[int, str, tuple[int, ...]], ...]:
+        """The schedule as plain nested tuples (hashable, picklable) —
+        the form :class:`~repro.analysis.campaign.ScenarioSpec` carries
+        across process boundaries."""
+        return tuple(
+            (event.beat, event.kind, event.node_ids) for event in self.events
+        )
+
+    @classmethod
+    def coerce(
+        cls, churn: "ChurnSchedule | Iterable[ChurnEvent | tuple] | None"
+    ) -> "ChurnSchedule | None":
+        """Accept a schedule, raw event tuples, or ``None`` (no churn)."""
+        if churn is None:
+            return None
+        if isinstance(churn, ChurnSchedule):
+            return churn
+        events = tuple(churn)
+        if not events:
+            return None
+        return cls(events)
+
+    def describe(self) -> str:
+        """Compact label form, e.g. ``10:crash:0+1,25:recover:0+1``."""
+        return ",".join(event.describe() for event in self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChurnSchedule({self.describe()})"
+
+
+def parse_churn_events(specs: Iterable[str]) -> ChurnSchedule:
+    """Parse CLI-style event strings ``BEAT:KIND:ID[,ID...]``.
+
+    Example: ``["8:join:6", "25:crash:0,1", "40:recover:0,1"]``.
+    Malformed strings raise :class:`~repro.errors.ConfigurationError`,
+    which the CLI maps to exit code 2.
+    """
+    events = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"churn event {spec!r} is not of the form BEAT:KIND:IDS "
+                "(e.g. 25:crash:0,1)"
+            )
+        raw_beat, kind, raw_ids = parts
+        try:
+            beat = int(raw_beat)
+            node_ids = tuple(int(part) for part in raw_ids.split(","))
+        except ValueError:
+            raise ConfigurationError(
+                f"churn event {spec!r} has a non-integer beat or node id"
+            ) from None
+        events.append(ChurnEvent(beat, kind, node_ids))
+    return ChurnSchedule(events)

@@ -889,10 +889,13 @@ class BulkEngine(FastEngine):
     """Structure-of-arrays batch engine (see the module docstring).
 
     Vectorized when (a) the protocol registered a bulk program for its
-    root component type and (b) the link model's per-beat effect is a
-    pure function of the schedule (perfect links, partition links); in
-    every other configuration it executes as a :class:`FastEngine`, so
-    selecting ``engine="bulk"`` is always safe and always bit-identical.
+    root component type, (b) the link model's per-beat effect is a pure
+    function of the schedule (perfect links, partition links), and
+    (c) the simulation has no churn schedule — membership changes make
+    the active set time-varying, which the batch kernels do not model;
+    in every other configuration it executes as a :class:`FastEngine`,
+    so selecting ``engine="bulk"`` is always safe and always
+    bit-identical.
     """
 
     name = "bulk"
@@ -911,8 +914,10 @@ class BulkEngine(FastEngine):
         super().bind(simulation)
         self._program = build_bulk_program(simulation)
         link = simulation.link
-        self._vector_mode = self._program is not None and (
-            link.is_perfect or type(link) is PartitionLinks
+        self._vector_mode = (
+            self._program is not None
+            and (link.is_perfect or type(link) is PartitionLinks)
+            and simulation.churn is None
         )
 
     @property

@@ -152,8 +152,13 @@ class ReferenceEngine:
 
     def execute_beat(self, simulation: "Simulation", beat: int) -> None:
         assert self.router is not None, "engine used before bind()"
+        # Membership churn: only *active* nodes run their send and update
+        # phases (a crashed machine neither emits nor consumes); traffic
+        # addressed to inactive correct nodes is still classified, counted
+        # and delivered into inboxes nobody reads, in every engine alike.
+        active = simulation.active_nodes()
         honest_envelopes: list[Envelope] = []
-        for node in simulation.nodes.values():
+        for node in active.values():
             honest_envelopes.extend(node.send_phase(beat))
         byzantine_envelopes: list[Envelope] = []
         if simulation.adversary is not None and simulation.faulty_ids:
@@ -169,7 +174,7 @@ class ReferenceEngine:
                                byzantine_envelopes)
             return
         delivered = self.router.route(honest_envelopes, byzantine_envelopes)
-        for node_id, node in simulation.nodes.items():
+        for node_id, node in active.items():
             node.update_phase(beat, delivered.get(node_id, {}))
 
     def _route_linked(
@@ -221,7 +226,7 @@ class ReferenceEngine:
         for inboxes in delivered.values():
             for inbox in inboxes.values():
                 inbox.sort(key=lambda e: e.sender)
-        for node_id, node in nodes.items():
+        for node_id, node in simulation.active_nodes().items():
             node.update_phase(beat, delivered.get(node_id, {}))
 
 
@@ -369,6 +374,11 @@ class FastEngine:
             return
         n = self._n
         nodes = simulation.nodes
+        # Churn: send and update phases run on *active* nodes only, while
+        # receiver-presence checks stay on all correct nodes — traffic to a
+        # crashed node is still counted and stashed (in an inbox nobody
+        # reads), exactly as the reference engine delivers it.
+        active = simulation.active_nodes()
         stats = self.stats
         faulty = self._faulty
         faulty_set = self._faulty_set
@@ -390,7 +400,7 @@ class FastEngine:
         # Honest nodes run in ascending id order, so shared lists come out
         # pre-sorted by (sender, emission order) — the exact order the
         # reference router's stable sender sort produces.
-        for node_id, node in nodes.items():
+        for node_id, node in active.items():
             records = node.send_phase(beat, self._outboxes[node_id])
             for seq, (path, payload, receiver) in enumerate(records):
                 if receiver is None:  # full broadcast: one shared fan-out
@@ -450,10 +460,10 @@ class FastEngine:
         for path_id in touched:
             shared_inbox[path_names[path_id]] = shared_envs[path_id]
         if not extras:  # pure-broadcast beat: every node reads one dict
-            for node in nodes.values():
+            for node in active.values():
                 node.update_phase(beat, shared_inbox)
             return
-        for node_id, node in nodes.items():
+        for node_id, node in active.items():
             node_extras = extras.get(node_id)
             if node_extras is None:
                 node.update_phase(beat, shared_inbox)
@@ -496,6 +506,11 @@ class FastEngine:
         """
         n = self._n
         nodes = simulation.nodes
+        # Churn: active nodes send and update; dispatch still classifies
+        # traffic bound for inactive correct receivers (the network does
+        # not know a host is down), matching the reference engine's link
+        # call sequence bit for bit.
+        active = simulation.active_nodes()
         stats = self.stats
         link = self._link
         faulty_set = self._faulty_set
@@ -532,7 +547,7 @@ class FastEngine:
             ).append((key, envelope))
 
         # -- send phase ----------------------------------------------------
-        for node_id, node in nodes.items():
+        for node_id, node in active.items():
             records = node.send_phase(beat, self._outboxes[node_id])
             for seq, (path, payload, receiver) in enumerate(records):
                 if receiver is None:  # full broadcast: expand per receiver
@@ -579,7 +594,7 @@ class FastEngine:
         # -- delivery + update phase --------------------------------------
         empty_inbox = self._shared_inbox
         empty_inbox.clear()
-        for node_id, node in nodes.items():
+        for node_id, node in active.items():
             node_extras = extras.get(node_id)
             if node_extras is None:
                 node.update_phase(beat, empty_inbox)

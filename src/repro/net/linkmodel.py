@@ -10,7 +10,7 @@ cross it: a :class:`LinkModel` sits between the send phase and the
 engine's delivery phase and rules on each honest or Byzantine envelope
 individually — deliver now, deliver ``d`` beats late, or drop.
 
-Four models ship:
+Five models ship:
 
 * :class:`PerfectLinks` — Definition 2.2 verbatim.  It is *provably* a
   no-op: engines check :attr:`LinkModel.is_perfect` and run their original
@@ -28,6 +28,12 @@ Four models ship:
 * :class:`PartitionLinks` — a scheduled split of the node set: traffic
   crossing the cut is dropped during the partition window, the window may
   repeat periodically, and the network heals afterwards.
+* :class:`MobilityLinks` — proximity-driven connectivity: every node
+  follows a deterministic random-waypoint trajectory across a 2-D world
+  and an envelope is delivered iff sender and receiver are within radio
+  range at its send beat.  Positions are pure functions of
+  ``(seed, node, beat)`` — no per-link state at all — so peers drift in
+  and out of range identically across engines and worker counts.
 
 Determinism contract
 --------------------
@@ -67,6 +73,7 @@ __all__ = [
     "BoundedDelayLinks",
     "LinkModel",
     "LossyLinks",
+    "MobilityLinks",
     "PartitionLinks",
     "PerfectLinks",
     "make_link",
@@ -405,6 +412,81 @@ class PartitionLinks(LinkModel):
         return f"partition({window})"
 
 
+class MobilityLinks(LinkModel):
+    """Proximity-driven connectivity over a deterministic waypoint world.
+
+    Every node follows a random-waypoint trajectory across a square 2-D
+    world: it walks in a straight line from one waypoint to the next,
+    each leg lasting ``leg_beats`` beats, with waypoints drawn uniformly
+    over the world.  An envelope is delivered (same beat) iff sender and
+    receiver are within ``radius`` of each other at its send beat, and
+    dropped otherwise — the connectivity graph of a mobile ad-hoc
+    network, varying beat by beat.
+
+    Determinism: waypoint ``ℓ`` of node ``i`` is a keyed draw
+    ``derive_seed(seed, "mobility", axis, i, ℓ)`` and a position is pure
+    interpolation between consecutive waypoints, so :meth:`position` —
+    and hence every ruling — is a pure function of ``(seed, node,
+    beat)``.  No emission counters, no per-link state: campaigns
+    reproduce across engines and worker counts by construction.
+
+    Args:
+        world: side length of the square world.
+        radius: radio range; pairs at most this far apart are connected.
+        leg_beats: beats per waypoint leg (larger = slower drift).
+    """
+
+    name = "mobility"
+
+    def __init__(
+        self,
+        world: float = 100.0,
+        radius: float = 65.0,
+        leg_beats: int = 8,
+    ) -> None:
+        super().__init__()
+        if world <= 0:
+            raise ConfigurationError(f"world must be positive, got {world}")
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be positive, got {radius}")
+        if leg_beats < 1:
+            raise ConfigurationError(
+                f"leg_beats must be at least 1, got {leg_beats}"
+            )
+        self.world = float(world)
+        self.radius = float(radius)
+        self.leg_beats = int(leg_beats)
+
+    def _waypoint(self, node: int, leg: int) -> tuple[float, float]:
+        return (
+            self._uniform("wx", node, leg) * self.world,
+            self._uniform("wy", node, leg) * self.world,
+        )
+
+    def position(self, node: int, beat: int) -> tuple[float, float]:
+        """Node's world coordinates at ``beat`` (pure keyed function)."""
+        leg, step = divmod(beat, self.leg_beats)
+        t = step / self.leg_beats
+        x0, y0 = self._waypoint(node, leg)
+        x1, y1 = self._waypoint(node, leg + 1)
+        return (x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+
+    def connected(self, a: int, b: int, beat: int) -> bool:
+        """Whether nodes ``a`` and ``b`` are within range at ``beat``."""
+        ax, ay = self.position(a, beat)
+        bx, by = self.position(b, beat)
+        return (ax - bx) ** 2 + (ay - by) ** 2 <= self.radius**2
+
+    def classify(self, sender: int, receiver: int, beat: int) -> int | None:
+        return 0 if self.connected(sender, receiver, beat) else None
+
+    def describe(self) -> str:
+        return (
+            f"mobility(r={self.radius:g}/{self.world:g},"
+            f"leg={self.leg_beats})"
+        )
+
+
 #: Link model registry: name -> class.  Names are shared with the CLI's
 #: ``--link`` flags and :class:`~repro.analysis.campaign.ScenarioSpec`.
 LINK_MODELS: dict[str, type[LinkModel]] = {
@@ -412,6 +494,7 @@ LINK_MODELS: dict[str, type[LinkModel]] = {
     BoundedDelayLinks.name: BoundedDelayLinks,
     LossyLinks.name: LossyLinks,
     PartitionLinks.name: PartitionLinks,
+    MobilityLinks.name: MobilityLinks,
 }
 
 #: The default link model: the paper's non-faulty network.

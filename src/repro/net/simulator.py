@@ -25,6 +25,19 @@ Transient faults are injected between beats with :meth:`Simulation.scramble`,
 which redraws node state from the declared variable domains — the paper's
 "memory altered in an arbitrary fashion" under the standard bounded-variable
 reading of self-stabilization.
+
+Membership churn is a first-class fault axis: a
+:class:`~repro.faults.dynamic.ChurnSchedule` passed at construction
+scripts per-beat crash / recover-with-scrambled-state / join / leave
+events, applied by the simulation at the *start* of each beat — before
+the send phase, so engines only ever see the settled membership of a
+beat.  Inactive correct nodes keep their :class:`~repro.net.node.Node`
+object (ids, RNG streams and dict order stay stable whatever the
+schedule) but neither send nor consume traffic; messages addressed to
+them are classified and counted normally and land in inboxes nobody
+reads, which is exactly a crashed machine's NIC.  The active set is what
+:meth:`Simulation.active_nodes` exposes and what convergence monitors
+snapshot.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ from repro.net.rng import SeedSequence
 
 if TYPE_CHECKING:  # pragma: no cover - break import cycle, typing only
     from repro.adversary.base import Adversary
+    from repro.faults.dynamic import ChurnSchedule
 
 __all__ = ["Monitor", "Simulation"]
 
@@ -82,6 +96,15 @@ class Simulation:
             perfect network is the paper's Definition 2.2 and is a
             provable no-op; other models delay or drop individual
             envelopes between the send and delivery phases.
+        churn: membership schedule — a
+            :class:`~repro.faults.dynamic.ChurnSchedule` (or the raw
+            event tuples one normalizes to) scripting per-beat crash /
+            recover / join / leave events for correct nodes; ``None``
+            (the default) keeps membership static.  Nodes named by a
+            ``join`` event start *inactive* and boot at their join beat;
+            recovery scrambles the node's state from the ``"faults"``
+            RNG stream (a rebooted machine remembers nothing
+            trustworthy).
     """
 
     def __init__(
@@ -96,6 +119,7 @@ class Simulation:
         enforce_resilience: bool = True,
         engine: "str | Engine" = DEFAULT_ENGINE,
         link: "str | LinkModel" = DEFAULT_LINK,
+        churn: "ChurnSchedule | object | None" = None,
     ) -> None:
         if enforce_resilience:
             check_resilience(n, f)
@@ -135,6 +159,20 @@ class Simulation:
             )
             for i in self.honest_ids
         }
+        # Membership: all honest nodes are built up front (ids, RNG
+        # streams and dict order stay schedule-independent); the churn
+        # schedule only toggles which of them participate in a beat.
+        from repro.faults.dynamic import ChurnSchedule
+
+        self.churn = ChurnSchedule.coerce(churn)
+        if self.churn is not None:
+            self.churn.validate_for(n, self.faulty_ids)
+            self.active_ids = {
+                i for i in self.honest_ids if i not in self.churn.joining_ids
+            }
+        else:
+            self.active_ids = set(self.honest_ids)
+        self._active_view: dict[int, Node] | None = None
         self.link = resolve_link(link)
         self.link.bind(n, self.seeds.seed_for("link"))
         self.engine = resolve_engine(engine)
@@ -159,6 +197,30 @@ class Simulation:
         """Map of honest node id to its root component."""
         return {i: node.root for i, node in self.nodes.items()}
 
+    def active_nodes(self) -> dict[int, Node]:
+        """The correct nodes currently participating, in ascending id
+        order.  Without churn this *is* :attr:`nodes` (zero overhead on
+        the static-membership hot path); under churn it is the subset the
+        schedule has left active, rebuilt only when membership changes."""
+        if len(self.active_ids) == len(self.nodes):
+            return self.nodes
+        view = self._active_view
+        if view is None:
+            view = self._active_view = {
+                i: node for i, node in self.nodes.items() if i in self.active_ids
+            }
+        return view
+
+    def is_active(self, node_id: int) -> bool:
+        """Whether a correct node currently participates in beats."""
+        return node_id in self.active_ids
+
+    def active_roots(self) -> dict[int, Component]:
+        """Map of *active* correct node id to its root component — what
+        convergence monitors snapshot (a crashed tower's frozen clock is
+        not part of the system's state)."""
+        return {i: node.root for i, node in self.active_nodes().items()}
+
     def add_monitor(self, monitor: Monitor) -> None:
         self.monitors.append(monitor)
 
@@ -167,15 +229,20 @@ class Simulation:
     def scramble(self, node_ids: Iterable[int] | None = None) -> None:
         """Transient fault: redraw state of the given correct nodes.
 
-        Defaults to scrambling *every* correct node — the hardest starting
-        point for a self-stabilizing protocol.  Ids outside the honest set
-        (faulty or simply unknown) raise :class:`ConfigurationError`:
-        faulty nodes have no state to scramble (the adversary speaks for
-        them), and silently skipping a typo would make a fault schedule
-        look stronger than it ran.
+        Defaults to scrambling every *active* correct node — the hardest
+        starting point for a self-stabilizing protocol.  Ids outside the
+        honest set (faulty or simply unknown) raise
+        :class:`ConfigurationError`: faulty nodes have no state to
+        scramble (the adversary speaks for them), and silently skipping a
+        typo would make a fault schedule look stronger than it ran.
+        Under churn, explicitly naming an *inactive* node (crashed, not
+        yet joined, or departed) is equally an error — a transient fault
+        cannot strike a machine that is not running, and silently
+        mutating a dead tower would corrupt the state it is due to keep
+        frozen until recovery.
         """
         if node_ids is None:
-            targets = self.honest_ids
+            targets = sorted(self.active_ids)
         else:
             targets = list(node_ids)
             unknown = sorted(i for i in targets if i not in self.nodes)
@@ -184,6 +251,15 @@ class Simulation:
                     f"cannot scramble node ids {unknown}: not in the honest "
                     f"set {self.honest_ids} (faulty nodes have no state — "
                     "the adversary speaks for them)"
+                )
+            inactive = sorted(i for i in targets if i not in self.active_ids)
+            if inactive:
+                raise ConfigurationError(
+                    f"cannot scramble node ids {inactive}: inactive under "
+                    "the churn schedule at beat "
+                    f"{self.beat} (crashed, departed, or not yet joined — "
+                    "a transient fault cannot strike a machine that is "
+                    "not running)"
                 )
         for node_id in targets:
             self.nodes[node_id].scramble(self._fault_rng)
@@ -202,11 +278,41 @@ class Simulation:
         """RNG stream reserved for phantom/fault generation helpers."""
         return self._fault_rng
 
+    # -- membership churn ----------------------------------------------------
+
+    def _apply_churn(self, beat: int) -> None:
+        """Apply this beat's membership events (start-of-beat semantics).
+
+        The schedule was replay-validated at construction, so every
+        transition here is legal by the time it runs.  Recovery redraws
+        the node's state from the ``"faults"`` stream — the same stream,
+        in the same order, whatever engine executes the run — and
+        notifies engines that mirror state out-of-tree.
+        """
+        recovered: list[int] = []
+        for event in self.churn.events_at(beat):
+            if event.kind == "crash" or event.kind == "leave":
+                self.active_ids.difference_update(event.node_ids)
+            elif event.kind == "recover":
+                self.active_ids.update(event.node_ids)
+                recovered.extend(event.node_ids)
+            else:  # join: a pristine boot, no scramble
+                self.active_ids.update(event.node_ids)
+            self._active_view = None
+        if recovered:
+            for node_id in recovered:
+                self.nodes[node_id].scramble(self._fault_rng)
+            notify = getattr(self.engine, "notify_state_written", None)
+            if notify is not None:
+                notify(recovered)
+
     # -- execution -----------------------------------------------------------
 
     def run_beat(self) -> None:
         """Advance the system by one beat."""
         beat = self.beat
+        if self.churn is not None:
+            self._apply_churn(beat)
         self.env.begin_beat(beat)
         self.engine.execute_beat(self, beat)
         for monitor in self.monitors:

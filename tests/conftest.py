@@ -4,11 +4,12 @@ simulation builders used across the suite."""
 from __future__ import annotations
 
 import importlib.util
+import pathlib
 import random
+import re
 from typing import Any, Callable
 
 import pytest
-from hypothesis import HealthCheck, settings
 
 from repro.coin.interfaces import CoinAlgorithm, CoinInstance, InstanceContext
 from repro.net.environment import Environment
@@ -22,15 +23,31 @@ def pytest_addoption(parser: pytest.Parser) -> None:
     if importlib.util.find_spec("pytest_timeout") is None:
         parser.addini("timeout", "inert fallback: pytest-timeout not installed")
 
-# Keep hypothesis runs brisk: the properties are exercised across many
-# dedicated tests, not by huge example counts in each.
-settings.register_profile(
-    "repro",
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-settings.load_profile("repro")
+# Hypothesis is a dev-only dependency (requirements-dev.txt): configure a
+# brisk profile when present, and skip collecting the property-based test
+# modules entirely when absent so the suite still runs.  The properties
+# are exercised across many dedicated tests, not by huge example counts.
+collect_ignore: list[str] = []
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    _here = pathlib.Path(__file__).parent
+    _imports_hypothesis = re.compile(
+        r"^(from|import) hypothesis\b", re.MULTILINE
+    )
+    collect_ignore.extend(
+        path.name
+        for path in _here.glob("test_*.py")
+        if _imports_hypothesis.search(path.read_text(encoding="utf-8"))
+    )
+else:
+    settings.register_profile(
+        "repro",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
 
 #: Hook signature: (round_index, messages_visible_to_adversary) ->
 #: list of (sender, receiver, payload) triples from faulty nodes.

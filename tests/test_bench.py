@@ -91,7 +91,7 @@ class TestRegistry:
     def test_registration_count(self):
         # Twelve ported legacy entry points + the live-runtime benchmark
         # + the cross-protocol comparison over the Protocol seam.
-        assert len({b.name for b in all_benchmarks()}) == 14
+        assert len({b.name for b in all_benchmarks()}) == 15
 
     def test_sources_point_at_their_shims(self):
         for bench in all_benchmarks():
@@ -529,7 +529,8 @@ class TestCheckedInArtifacts:
         # engines contributes its gated per-engine trajectory digests
         # (simulation-deterministic, so pinnable at every tier).
         assert smoke_benchmarks == {
-            "engines", "link_conditions", "protocol_comparison"
+            "engines", "link_conditions", "protocol_comparison",
+            "stabilization_under_churn",
         }
         for tier in ("smoke", "full", "nightly"):
             engine_keys = [

@@ -27,6 +27,9 @@ from repro.net.engine import ENGINES, resolve_engine
 from repro.net.linkmodel import make_link
 from repro.net.simulator import Simulation
 
+# Heavyweight differential matrix: deselected by the CI fast lane.
+pytestmark = pytest.mark.slow
+
 SEEDS = range(10)
 
 #: Every non-perfect link model, with a parameterization that actually
@@ -238,15 +241,24 @@ class TestAllProtocolsDifferential:
 class TestEngineModeSelection:
     def test_vectorized_under_perfect_and_partition_only(self):
         factory = lambda i: SSByzClockSync(6, _coin_factory)
-        for link, params, expect in (
-            ("perfect", None, True),
-            ("partition", {"split": 1, "heal": 5}, True),
-            ("delay", {"max_delay": 2}, False),
-            ("lossy", {"loss": 0.3}, False),
+        churn = ((5, "crash", (0,)), (9, "recover", (0,)))
+        for link, params, churn_spec, expect in (
+            ("perfect", None, None, True),
+            ("partition", {"split": 1, "heal": 5}, None, True),
+            ("delay", {"max_delay": 2}, None, False),
+            ("lossy", {"loss": 0.3}, None, False),
+            ("mobility", None, None, False),
+            # Membership churn forces the per-node fallback even on the
+            # otherwise-vectorizable links.
+            ("perfect", None, churn, False),
+            ("partition", {"split": 1, "heal": 5}, churn, False),
         ):
             link_model = make_link(link, params) if params else link
-            sim = Simulation(4, 1, factory, engine="bulk", link=link_model)
-            assert sim.engine.vectorized is expect, (link, params)
+            sim = Simulation(
+                4, 1, factory, engine="bulk", link=link_model,
+                churn=churn_spec,
+            )
+            assert sim.engine.vectorized is expect, (link, params, churn_spec)
 
     def test_gvss_coin_disables_vectorization(self):
         sim = Simulation(

@@ -369,7 +369,7 @@ class TestBenchCommand:
         assert code == 0
         for benchmark in all_benchmarks():
             assert benchmark.name in out
-        assert "14 benchmarks" in out
+        assert "15 benchmarks" in out
 
     def test_bench_list_tier_selection(self, capsys):
         code = main(["bench", "list", "--tier", "smoke"])

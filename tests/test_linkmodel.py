@@ -363,7 +363,9 @@ class TestPartitionContract:
 
 class TestConfiguration:
     def test_registry_names(self):
-        assert set(LINK_MODELS) == {"perfect", "delay", "lossy", "partition"}
+        assert set(LINK_MODELS) == {
+            "perfect", "delay", "lossy", "partition", "mobility"
+        }
         for name in LINK_MODELS:
             assert isinstance(resolve_link(name), LinkModel)
 

@@ -33,6 +33,10 @@ from repro.errors import ConfigurationError
 from repro.net.simulator import Simulation
 from repro.runtime import run_runtime
 
+# Full protocol × engine × link × transport matrix: deselected by the CI
+# fast lane.
+pytestmark = pytest.mark.slow
+
 ALL_PROTOCOLS = sorted(PROTOCOLS)
 
 
