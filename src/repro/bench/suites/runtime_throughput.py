@@ -1,18 +1,22 @@
-"""Live-runtime throughput: beats/sec and messages/sec over LocalTransport.
+"""Live-runtime throughput: beats/sec and messages/sec per wire codec.
 
 Times :func:`~repro.runtime.runner.run_runtime` driving the full
 ss-Byz-Clock-Sync stack (oracle coin, scrambled start, fault-free) as
 concurrent asyncio tasks with in-process queue delivery, across a size
-matrix.  This is the runtime analogue of the ``engines`` micro-benchmark:
-it prices the round barrier, the wire codec and the per-envelope
-delivery against the lock-step simulator's batch beats.
+matrix *and* across the codec registry — ``json`` is the per-message
+differential reference, ``binary`` the batched fast path — so one table
+prices the round barrier, each wire format, and the batching win against
+the lock-step simulator's batch beats.
 
-Wall-clock numbers are hardware-noisy, so every metric is ``gated=False``;
-the benchmark's own qualitative check is a *correctness* guard instead:
-zero-delay local delivery must never time a barrier out nor drop a late
-message — if it does, the runtime's determinism contract (bit-identity
-with the simulator) is broken and the run fails loudly here before the
-differential suite even gets a say.
+Wall-clock rates are hardware-noisy, so the throughput metrics are
+``gated=False``; the *determinism* is gated instead, two ways:
+
+* a correctness guard — zero-delay local delivery must never time a
+  barrier out nor drop a late or malformed frame, on any codec;
+* gated ``trace_match`` digests — the sha256 of each codec's runtime
+  trace pinned against the lock-step simulator's trace for the same
+  seed, the same simulation-deterministic discipline the ``engines``
+  suite gates its trajectory digests with.
 """
 
 from __future__ import annotations
@@ -20,40 +24,72 @@ from __future__ import annotations
 from repro.bench.registry import Benchmark, register
 from repro.bench.result import BenchOutcome, BenchResult
 
+#: The digest case: small enough to be free at every tier, adversarial
+#: enough (scrambled start) to catch any codec- or barrier-level drift.
+_DIGEST_CASE = {"n": 4, "f": 1, "beats": 20, "seed": 0}
 
-def _run_once(n: int, f: int, beats: int, seed: int):
+
+def _factory():
     from repro.coin.oracle import OracleCoin
     from repro.core.clock_sync import SSByzClockSync
+
+    return lambda _node_id: SSByzClockSync(8, lambda: OracleCoin())
+
+
+def _run_once(n: int, f: int, beats: int, seed: int, codec: str):
     from repro.runtime import run_runtime
 
     return run_runtime(
         n,
         f,
-        lambda _node_id: SSByzClockSync(8, lambda: OracleCoin()),
+        _factory(),
         seed=seed,
         beats=beats,
         transport="local",
+        codec=codec,
         k=8,
     )
 
 
+def _simulator_digest() -> str:
+    """sha256 of the lock-step simulator's trace for the digest case."""
+    import hashlib
+
+    from repro.net.simulator import Simulation
+    from repro.net.trace import Tracer
+
+    case = _DIGEST_CASE
+    sim = Simulation(
+        case["n"], case["f"], _factory(), seed=case["seed"]
+    )
+    tracer = Tracer(lambda root: root.clock_value)
+    sim.add_monitor(tracer)
+    sim.scramble()
+    sim.run(case["beats"])
+    return hashlib.sha256(tracer.to_jsonl().encode("utf-8")).hexdigest()
+
+
 def _render(rows: list[dict]) -> str:
     lines = [
-        f"{'system':<12} | {'beats/s':>9} | {'msgs/s':>10} | messages",
-        "-" * 52,
+        f"{'system':<12} | {'codec':<7} | {'beats/s':>9} | {'msgs/s':>10} "
+        f"| {'wire units':>10} | messages",
+        "-" * 74,
     ]
     for row in rows:
         lines.append(
             f"n={row['n']:<3} f={row['f']:<3}  | "
+            f"{row['codec']:<7} | "
             f"{row['beats_per_sec']:>9.1f} | "
             f"{row['messages_per_sec']:>10.0f} | "
+            f"{row['frames_sent']:>10} | "
             f"{row['messages_sent']}"
         )
     return "\n".join(lines)
 
 
 def run(
-    sizes=((4, 1), (8, 2), (16, 5)),
+    sizes=((4, 1), (8, 2), (16, 5), (32, 10)),
+    codecs=("json", "binary"),
     beats: int = 40,
     repeats: int = 3,
     seed: int = 0,
@@ -61,31 +97,44 @@ def run(
     rows = []
     failures = []
     for n, f in sizes:
-        best = None
-        for _ in range(repeats):
-            result = _run_once(n, f, beats, seed)
-            if result.barrier_timeouts or result.late_messages:
-                failures.append(
-                    f"zero-delay local runtime at n={n} saw "
-                    f"{result.barrier_timeouts} barrier timeouts / "
-                    f"{result.late_messages} late messages — the "
-                    "determinism contract is broken"
-                )
-            if best is None or result.elapsed_s < best.elapsed_s:
-                best = result
-        rows.append(
-            {
-                "n": n,
-                "f": f,
-                "beats_timed": beats,
-                "beats_per_sec": best.beats_per_sec,
-                "messages_per_sec": best.messages_per_sec,
-                "messages_sent": best.messages_sent,
-            }
-        )
+        for codec in codecs:
+            best = None
+            for _ in range(repeats):
+                result = _run_once(n, f, beats, seed, codec)
+                if (
+                    result.barrier_timeouts
+                    or result.late_messages
+                    or result.malformed_frames
+                ):
+                    failures.append(
+                        f"zero-delay local runtime at n={n} codec={codec} "
+                        f"saw {result.barrier_timeouts} barrier timeouts / "
+                        f"{result.late_messages} late / "
+                        f"{result.malformed_frames} malformed — the "
+                        "determinism contract is broken"
+                    )
+                if best is None or result.elapsed_s < best.elapsed_s:
+                    best = result
+            rows.append(
+                {
+                    "n": n,
+                    "f": f,
+                    "codec": codec,
+                    "beats_timed": beats,
+                    "beats_per_sec": best.beats_per_sec,
+                    "messages_per_sec": best.messages_per_sec,
+                    "messages_sent": best.messages_sent,
+                    "frames_sent": best.frames_sent,
+                }
+            )
     results = []
     for row in rows:
-        scenario = {"transport": "local", "n": row["n"], "f": row["f"]}
+        scenario = {
+            "transport": "local",
+            "codec": row["codec"],
+            "n": row["n"],
+            "f": row["f"],
+        }
         results.append(
             BenchResult(
                 benchmark="runtime_throughput",
@@ -108,10 +157,50 @@ def run(
                 gated=False,
             )
         )
+
+    # -- gated trace digests: simulation-deterministic at every tier -------
+    import hashlib
+
+    case = _DIGEST_CASE
+    reference = _simulator_digest()
+    digest_lines = [f"{'codec':<8} {'digest':<20} verdict"]
+    for codec in codecs:
+        result = _run_once(
+            case["n"], case["f"], case["beats"], case["seed"], codec
+        )
+        digest = hashlib.sha256(
+            result.to_jsonl().encode("utf-8")
+        ).hexdigest()
+        match = 1.0 if digest == reference else 0.0
+        results.append(
+            BenchResult(
+                benchmark="runtime_throughput",
+                metric="trace_match",
+                value=match,
+                unit="match",
+                scenario={"transport": "local", "codec": codec,
+                          "n": case["n"], "f": case["f"]},
+                direction="higher",
+                gated=True,  # simulation-deterministic: exact at any tier
+            )
+        )
+        digest_lines.append(
+            f"{codec:<8} {digest[:16]}…    "
+            f"{'match' if match else 'MISMATCH'}"
+        )
+        if not match:
+            failures.append(
+                f"runtime codec {codec!r} diverged from the simulator "
+                f"trace on the digest case (n={case['n']}, "
+                f"seed={case['seed']})"
+            )
     return BenchOutcome(
         results=tuple(results),
         failures=tuple(failures),
-        tables=(("runtime_throughput", _render(rows)),),
+        tables=(
+            ("runtime_throughput", _render(rows)),
+            ("runtime_trace_digests", "\n".join(digest_lines)),
+        ),
     )
 
 
@@ -121,19 +210,21 @@ register(
         tier="smoke",
         runner=run,
         params={
-            "sizes": ((4, 1), (8, 2), (16, 5)),
+            "sizes": ((4, 1), (8, 2), (16, 5), (32, 10)),
+            "codecs": ("json", "binary"),
             "beats": 40,
             "repeats": 3,
         },
         tier_params={
             "smoke": {
-                "sizes": ((4, 1), (8, 2)),
-                "beats": 15,
+                "sizes": ((4, 1), (16, 5)),
+                "beats": 12,
                 "repeats": 1,
             },
         },
-        description="live-runtime beats/sec and messages/sec on "
-                    "LocalTransport across system sizes",
+        description="live-runtime beats/sec and messages/sec per wire "
+                    "codec on LocalTransport, with gated trace digests "
+                    "against the lock-step simulator",
         source="benchmarks/bench_runtime_throughput.py",
     )
 )

@@ -10,14 +10,19 @@ Commands:
   stream aggregated per-scenario results;
 * ``runtime`` — run the protocol as a *live* concurrent system: asyncio
   node tasks over a real transport (in-process queues or TCP loopback),
-  optional JSONL trace output (see :mod:`repro.runtime`);
+  a selectable wire codec (``--codec``), optional JSONL trace output
+  (see :mod:`repro.runtime`);
+* ``cluster run SPEC`` — launch multi-process TCP clusters from a
+  declarative experiment spec file (see
+  :mod:`repro.runtime.orchestrator`);
 * ``bench`` — the unified benchmark subsystem (``list``, ``run``,
   ``compare``, ``gate``; see :mod:`repro.bench.cli`);
 * ``protocols`` — list the registered protocol catalog;
 * ``adversaries`` — list the built-in Byzantine strategies;
 * ``links`` — list the built-in link-condition models;
 * ``engines`` — list the built-in simulation engines;
-* ``transports`` — list the built-in runtime transports.
+* ``transports`` — list the built-in runtime transports;
+* ``codecs`` — list the built-in runtime wire codecs.
 
 ``run``, ``campaign`` and ``runtime`` accept ``--protocol`` to select
 any registered protocol (``campaign`` takes several — a grid axis) and
@@ -60,7 +65,15 @@ from repro.faults.dynamic import parse_churn_events
 from repro.net.engine import DEFAULT_ENGINE, ENGINES
 from repro.net.linkmodel import LINK_MODELS
 from repro.net.simulator import Simulation
-from repro.runtime import DEFAULT_TRANSPORT, TRANSPORTS, run_runtime
+from repro.runtime import (
+    CODECS,
+    DEFAULT_CODEC,
+    DEFAULT_TRANSPORT,
+    TRANSPORTS,
+    load_specs,
+    run_cluster,
+    run_runtime,
+)
 
 __all__ = ["ADVERSARIES", "main"]
 
@@ -226,6 +239,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="message plane: in-process queues or TCP loopback sockets",
     )
     runtime.add_argument(
+        "--codec", default=DEFAULT_CODEC, choices=sorted(CODECS),
+        help="wire format (see `repro codecs`); never changes the "
+             "trajectory, only the bytes and the speed",
+    )
+    runtime.add_argument(
         "--beat-timeout", type=float, default=30.0, metavar="SECONDS",
         help="round-barrier timeout per beat (late peers are not waited "
              "for beyond this)",
@@ -300,6 +318,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write aggregated results to this JSON file",
     )
 
+    cluster = commands.add_parser(
+        "cluster",
+        help="orchestrate multi-process TCP clusters from a spec file",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    cluster_run = cluster_commands.add_parser(
+        "run", help="launch every experiment in a cluster spec file"
+    )
+    cluster_run.add_argument(
+        "spec_path", metavar="SPEC",
+        help="Python file assigning a module-level `experiments` list of "
+             "ClusterSpec objects",
+    )
+    cluster_run.add_argument(
+        "--only", default=None, metavar="NAME",
+        help="run just the experiment with this name",
+    )
+    cluster_run.add_argument(
+        "--codec", default=None, choices=sorted(CODECS),
+        help="override every experiment's wire codec",
+    )
+    cluster_run.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write each experiment's JSONL trace into this directory",
+    )
+    cluster_run.add_argument(
+        "--show", type=int, default=8, help="beats to print per experiment"
+    )
+
     from repro.bench.cli import configure_parser as configure_bench_parser
 
     configure_bench_parser(commands)
@@ -309,6 +358,7 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("links", help="list built-in link-condition models")
     commands.add_parser("engines", help="list built-in simulation engines")
     commands.add_parser("transports", help="list built-in runtime transports")
+    commands.add_parser("codecs", help="list built-in runtime wire codecs")
     return parser
 
 
@@ -378,6 +428,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             seed=args.seed,
             beats=args.beats,
             transport=args.transport,
+            codec=args.codec,
             k=args.k,
             beat_timeout=args.beat_timeout,
         )
@@ -388,7 +439,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     print(
         f"live {args.protocol} n={args.n} f={args.f} k={args.k}"
         f"{coin_note} adversary={args.adversary} seed={args.seed} "
-        f"transport={result.transport}"
+        f"transport={result.transport} codec={result.codec}"
     )
     for record in result.records[: args.show]:
         cells = " ".join(
@@ -418,6 +469,68 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         f"({result.messages_sent} messages, {rate}{casualties})"
     )
     return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
+    from repro.errors import TransportError
+
+    try:
+        specs = load_specs(args.spec_path)
+        if args.only is not None:
+            specs = tuple(s for s in specs if s.name == args.only)
+            if not specs:
+                raise ConfigurationError(
+                    f"no experiment named {args.only!r} in {args.spec_path}"
+                )
+        if args.codec is not None:
+            specs = tuple(
+                dataclasses.replace(s, codec=args.codec) for s in specs
+            )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for spec in specs:
+        print(
+            f"cluster {spec.name}: {spec.protocol} n={spec.n} f={spec.f} "
+            f"k={spec.k} adversary={spec.adversary} seed={spec.seed} "
+            f"codec={spec.codec} processes={spec.processes}"
+        )
+        try:
+            result = run_cluster(spec)
+        except TransportError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        for record in result.records[: args.show]:
+            cells = " ".join(
+                f"{record.values[i]:>4}"
+                if record.values[i] is not None else "   ⊥"
+                for i in sorted(record.values)
+            )
+            print(f"  beat {record.beat:>3} | {cells}")
+        if args.trace_dir:
+            os.makedirs(args.trace_dir, exist_ok=True)
+            trace_path = os.path.join(args.trace_dir, f"{spec.name}.jsonl")
+            with open(trace_path, "w", encoding="utf-8") as handle:
+                handle.write(result.to_jsonl())
+            print(f"  wrote {len(result.records)}-beat trace to {trace_path}")
+        rate = (
+            f"{result.beats_per_sec:.0f} beats/s, "
+            f"{result.messages_per_sec:.0f} msgs/s, "
+            f"{result.frames_sent} wire frames"
+        )
+        if result.converged_beat is None:
+            print(f"  did not converge within {spec.beats} beats ({rate})")
+            exit_code = 1
+        else:
+            print(
+                f"  converged at beat {result.converged_beat} "
+                f"({result.messages_sent} messages, {rate})"
+            )
+    return exit_code
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -608,6 +721,13 @@ def _cmd_transports(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_codecs(_args: argparse.Namespace) -> int:
+    for name, codec in sorted(CODECS.items()):
+        marker = "  (default)" if name == DEFAULT_CODEC else ""
+        print(f"  {name:<12} {codec.describe()}{marker}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.cli import handle
 
@@ -621,12 +741,14 @@ _HANDLERS = {
     "coin": _cmd_coin,
     "campaign": _cmd_campaign,
     "runtime": _cmd_runtime,
+    "cluster": _cmd_cluster,
     "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "adversaries": _cmd_adversaries,
     "links": _cmd_links,
     "engines": _cmd_engines,
     "transports": _cmd_transports,
+    "codecs": _cmd_codecs,
 }
 
 

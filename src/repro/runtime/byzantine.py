@@ -27,9 +27,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.net.network import ensure_faulty_senders
+from repro.runtime.codec import Codec, DEFAULT_CODEC, resolve_codec
 from repro.runtime.sync import BeatSynchronizer
 from repro.runtime.transport import Endpoint
-from repro.runtime.wire import END, Frame, encode_frame, frame_for_envelope
+from repro.runtime.wire import END, Frame, frame_for_envelope
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import random
@@ -53,6 +54,9 @@ class ByzantineProcess:
         rng: the adversary's RNG stream.
         beat_timeout: barrier timeout per faulty endpoint; ``None`` waits
             forever (safe only when every honest peer is live).
+        codec: the run's wire codec — the faulty peers speak whatever the
+            run speaks (a Byzantine node may *garble* frames, but that is
+            modeled as malformed traffic, not a codec of its own).
     """
 
     def __init__(
@@ -65,6 +69,7 @@ class ByzantineProcess:
         env: "Environment",
         rng: "random.Random",
         beat_timeout: "float | None" = None,
+        codec: "str | Codec" = DEFAULT_CODEC,
     ) -> None:
         self.adversary = adversary
         self.endpoints = dict(sorted(endpoints.items()))
@@ -72,16 +77,19 @@ class ByzantineProcess:
         self.f = f
         self.env = env
         self.rng = rng
+        self.codec = resolve_codec(codec)
         self.faulty_ids = frozenset(self.endpoints)
         self.honest_ids = [i for i in range(n) if i not in self.faulty_ids]
         self.messages_sent = 0
+        self.frames_sent = 0
         self.dead_letters = 0
         # One barrier per faulty endpoint, each closed by the honest
         # markers alone: the faulty ids' own markers are this process's
         # output, and other faulty traffic is never part of the legal view.
         self._synchronizers = {
             node_id: BeatSynchronizer(
-                endpoint, self.honest_ids, beat_timeout=beat_timeout
+                endpoint, self.honest_ids, beat_timeout=beat_timeout,
+                codec=self.codec,
             )
             for node_id, endpoint in self.endpoints.items()
         }
@@ -126,6 +134,11 @@ class ByzantineProcess:
             crafted = ensure_faulty_senders(
                 self.faulty_ids, list(self.adversary.craft_messages(view))
             )
+            # Group per (faulty sender, honest receiver) link; the seq
+            # stays global over the crafted list (dead letters included)
+            # so the honest barriers' sort key matches the lock-step
+            # engines' delivery order exactly.
+            batches: "dict[tuple[int, int], list[Frame]]" = {}
             for seq, envelope in enumerate(crafted):
                 if (
                     envelope.receiver in self.faulty_ids
@@ -135,14 +148,15 @@ class ByzantineProcess:
                     # simulator too: it exists only in the adversary's head.
                     self.dead_letters += 1
                     continue
-                data = encode_frame(frame_for_envelope(envelope, seq))
-                await self.endpoints[envelope.sender].send(
-                    envelope.receiver, data
-                )
+                batches.setdefault(
+                    (envelope.sender, envelope.receiver), []
+                ).append(frame_for_envelope(envelope, seq))
                 self.messages_sent += 1
             for node_id, endpoint in self.endpoints.items():
-                marker = encode_frame(
-                    Frame(kind=END, sender=node_id, beat=beat)
-                )
+                marker = Frame(kind=END, sender=node_id, beat=beat)
                 for receiver in self.honest_ids:
-                    await endpoint.send(receiver, marker)
+                    frames = batches.pop((node_id, receiver), [])
+                    frames.append(marker)
+                    for unit in self.codec.encode_batch(frames):
+                        self.frames_sent += 1
+                        await endpoint.send(receiver, unit)

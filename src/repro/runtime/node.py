@@ -16,7 +16,7 @@ from typing import Any, Callable
 from repro.net.node import Node
 from repro.runtime.sync import BeatSynchronizer
 from repro.runtime.transport import Endpoint
-from repro.runtime.wire import END, Frame, encode_frame, frame_for_envelope
+from repro.runtime.wire import END, Frame, frame_for_envelope
 
 __all__ = ["RuntimeNode"]
 
@@ -24,12 +24,14 @@ __all__ = ["RuntimeNode"]
 class RuntimeNode:
     """One correct node running live.
 
-    Per beat: run the tower's send phase, wire every emitted envelope to
-    its receiver (tagged with the beat and a per-sender emission sequence
-    number), emit the beat's ``end`` marker to every peer, await the round
-    barrier, and drive the tower's update phase with the sorted inboxes.
-    ``probe`` is snapshotted after every update phase into :attr:`trace`
-    (beat, value) pairs — the runtime's equivalent of a
+    Per beat: run the tower's send phase, group the emitted envelopes per
+    receiving link (every envelope tagged with the beat and a per-sender
+    emission sequence number), append the beat's ``end`` marker, and ship
+    each link's whole batch through the run's codec — one wire unit per
+    (link, beat) on a batching codec, one unit per frame on ``json``.
+    Then await the round barrier and drive the tower's update phase with
+    the sorted inboxes.  ``probe`` is snapshotted after every update phase
+    into :attr:`trace` (beat, value) pairs — the runtime's equivalent of a
     :class:`~repro.net.trace.Tracer` monitor.
     """
 
@@ -47,25 +49,41 @@ class RuntimeNode:
         self.probe = probe
         self.trace: list[tuple[int, Any]] = []
         self.messages_sent = 0
+        self.frames_sent = 0
         self.beats_run = 0
 
     async def run(self, beats: int) -> None:
         """Execute ``beats`` consecutive beats."""
         node = self.node
         endpoint = self.endpoint
+        codec = self.synchronizer.codec
+        send_nowait = getattr(endpoint, "send_nowait", None)
         all_ids = range(node.n)
         for _ in range(beats):
             beat = self.synchronizer.beat
             envelopes = node.send_phase(beat)
+            # Global emission seq first (the simulator's delivery sort
+            # key), then group per link; every in-system link also carries
+            # the beat's end marker at the end of its batch, so per-link
+            # FIFO content is identical to the old frame-per-message wire.
+            by_receiver: "dict[int, list[Frame]]" = {
+                receiver: [] for receiver in all_ids
+            }
             for seq, envelope in enumerate(envelopes):
-                data = encode_frame(frame_for_envelope(envelope, seq))
-                await endpoint.send(envelope.receiver, data)
-            self.messages_sent += len(envelopes)
-            marker = encode_frame(
-                Frame(kind=END, sender=node.node_id, beat=beat)
-            )
+                by_receiver.setdefault(envelope.receiver, []).append(
+                    frame_for_envelope(envelope, seq)
+                )
+            marker = Frame(kind=END, sender=node.node_id, beat=beat)
             for receiver in all_ids:
-                await endpoint.send(receiver, marker)
+                by_receiver[receiver].append(marker)
+            for receiver, frames in by_receiver.items():
+                for unit in codec.encode_batch(frames):
+                    self.frames_sent += 1
+                    if send_nowait is not None:
+                        send_nowait(receiver, unit)
+                    else:
+                        await endpoint.send(receiver, unit)
+            self.messages_sent += len(envelopes)
             inboxes = await self.synchronizer.collect(beat)
             node.update_phase(beat, inboxes)
             if self.probe is not None:

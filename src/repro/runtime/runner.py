@@ -37,6 +37,7 @@ from repro.net.node import Node
 from repro.net.rng import SeedSequence
 from repro.net.trace import BeatRecord, records_to_jsonl
 from repro.runtime.byzantine import ByzantineProcess
+from repro.runtime.codec import Codec, DEFAULT_CODEC, resolve_codec
 from repro.runtime.node import RuntimeNode
 from repro.runtime.sync import BeatSynchronizer
 from repro.runtime.transport import (
@@ -86,6 +87,9 @@ class RuntimeResult:
     premature_messages: int
     barrier_timeouts: int
     elapsed_s: float
+    codec: str = "json"
+    frames_sent: int = 0
+    malformed_frames: int = 0
 
     @property
     def converged(self) -> bool:
@@ -121,6 +125,7 @@ async def _run_async(
     beat_timeout: "float | None",
     probe: Callable[[Component], Any],
     n: int,
+    codec: Codec,
 ) -> tuple[list[RuntimeNode], "ByzantineProcess | None"]:
     runtime_nodes: list[RuntimeNode] = []
     process: "ByzantineProcess | None" = None
@@ -129,7 +134,7 @@ async def _run_async(
         for node_id, node in nodes.items():
             endpoint = await transport.open(node_id)
             synchronizer = BeatSynchronizer(
-                endpoint, all_ids, beat_timeout=beat_timeout
+                endpoint, all_ids, beat_timeout=beat_timeout, codec=codec
             )
             runtime_nodes.append(
                 RuntimeNode(node, endpoint, synchronizer, probe=probe)
@@ -148,6 +153,7 @@ async def _run_async(
                 env=env,
                 rng=rng,
                 beat_timeout=beat_timeout,
+                codec=codec,
             )
         tasks = [node.run(beats) for node in runtime_nodes]
         if process is not None:
@@ -167,6 +173,7 @@ def run_runtime(
     seed: int = 0,
     beats: int = 60,
     transport: "str | Transport" = DEFAULT_TRANSPORT,
+    codec: "str | Codec" = DEFAULT_CODEC,
     k: "int | None" = None,
     scramble: bool = True,
     beat_timeout: "float | None" = 30.0,
@@ -179,7 +186,10 @@ def run_runtime(
     parameters and seed discipline (see the module docstring); ``beats``
     is the run's duration — there is no early stopping, because no live
     node can locally know the *global* convergence beat.  ``k`` enables
-    convergence reporting on the collected records.
+    convergence reporting on the collected records.  ``codec`` picks the
+    wire format (see :mod:`repro.runtime.codec`) — a run-wide choice that
+    never changes the trajectory, only the bytes: the differential suite
+    pins ``binary`` runs trace-identical to ``json`` runs.
     """
     if beats < 1:
         raise ConfigurationError(f"need at least one beat, got {beats}")
@@ -222,10 +232,12 @@ def run_runtime(
             nodes[node_id].scramble(fault_rng)
 
     transport_obj = resolve_transport(transport)
+    codec_obj = resolve_codec(codec)
     started = time.perf_counter()
     runtime_nodes, process = asyncio.run(
         _run_async(
-            transport_obj, nodes, byzantine, beats, beat_timeout, probe, n
+            transport_obj, nodes, byzantine, beats, beat_timeout, probe, n,
+            codec_obj,
         )
     )
     elapsed = time.perf_counter() - started
@@ -245,16 +257,23 @@ def run_runtime(
         converged_at(_history_rows(records), k) if k is not None else None
     )
     messages = sum(rn.messages_sent for rn in runtime_nodes)
+    frames = sum(rn.frames_sent for rn in runtime_nodes)
     late = sum(rn.synchronizer.late_messages for rn in runtime_nodes)
     premature = sum(
         rn.synchronizer.premature_messages for rn in runtime_nodes
     )
     timeouts = sum(rn.synchronizer.barrier_timeouts for rn in runtime_nodes)
+    malformed = sum(
+        rn.synchronizer.malformed_frames for rn in runtime_nodes
+    )
     if process is not None:
         messages += process.messages_sent
+        frames += process.frames_sent
         late += process.late_messages
         premature += process.premature_messages
         timeouts += process.barrier_timeouts
+    if hasattr(transport_obj, "malformed_frames"):
+        malformed += transport_obj.malformed_frames
     return RuntimeResult(
         seed=seed,
         transport=transport_obj.name,
@@ -266,4 +285,7 @@ def run_runtime(
         premature_messages=premature,
         barrier_timeouts=timeouts,
         elapsed_s=elapsed,
+        codec=codec_obj.name,
+        frames_sent=frames,
+        malformed_frames=malformed,
     )

@@ -36,8 +36,9 @@ from typing import Iterable
 
 from repro.errors import ConfigurationError
 from repro.net.message import Envelope
+from repro.runtime.codec import Codec, DEFAULT_CODEC, resolve_codec
 from repro.runtime.transport import Endpoint
-from repro.runtime.wire import END, MSG, WireError, decode_frame
+from repro.runtime.wire import END, MSG, MAX_FRAME_LEN, Frame, WireError
 
 __all__ = ["MAX_LOOKAHEAD", "BeatSynchronizer"]
 
@@ -66,6 +67,10 @@ class BeatSynchronizer:
             anyway (counted in ``barrier_timeouts``); ``None`` waits
             forever, which is only safe when every expected peer is
             guaranteed live (e.g. the differential harness).
+        codec: the run's wire codec (name or instance); every wire unit
+            the endpoint yields is decoded through it, and a unit that is
+            oversized or fails to decode is counted in
+            ``malformed_frames`` and dropped whole.
     """
 
     def __init__(
@@ -74,10 +79,12 @@ class BeatSynchronizer:
         expected: Iterable[int],
         *,
         beat_timeout: "float | None" = None,
+        codec: "str | Codec" = DEFAULT_CODEC,
     ) -> None:
         self.endpoint = endpoint
         self.expected = frozenset(expected)
         self.beat_timeout = beat_timeout
+        self.codec = resolve_codec(codec)
         self.beat = 0
         self.late_messages = 0
         self.premature_messages = 0
@@ -85,16 +92,29 @@ class BeatSynchronizer:
         self.barrier_timeouts = 0
         self._messages: dict[int, list[Entry]] = {}
         self._markers: dict[int, set[int]] = {}
+        # Transport fast path: endpoints backed by an in-process queue
+        # expose a non-blocking drain, which lets one await service a
+        # whole burst of queued wire units.
+        self._recv_nowait = getattr(endpoint, "recv_nowait", None)
 
     # -- frame intake ------------------------------------------------------
 
     def note(self, sender: int, data: bytes) -> None:
-        """Classify one received frame (tests may call this directly)."""
+        """Classify one received wire unit (tests may call this directly)."""
         try:
-            frame = decode_frame(data)
+            if len(data) > MAX_FRAME_LEN:
+                raise WireError(
+                    f"unit of {len(data)} bytes exceeds the "
+                    f"{MAX_FRAME_LEN}-byte cap"
+                )
+            frames = self.codec.decode_batch(data)
         except WireError:
             self.malformed_frames += 1
             return
+        for frame in frames:
+            self._classify(sender, frame)
+
+    def _classify(self, sender: int, frame: Frame) -> None:
         if frame.beat >= self.beat + MAX_LOOKAHEAD:
             # Far beyond any correct peer's possible drift: refuse to
             # buffer (a faulty peer could otherwise pin unbounded memory).
@@ -128,7 +148,16 @@ class BeatSynchronizer:
             None if self.beat_timeout is None
             else loop.time() + self.beat_timeout
         )
+        drain = self._recv_nowait
         while not self._markers.get(beat, set()) >= self.expected:
+            if drain is not None:
+                # Service everything already queued without suspending;
+                # the await below then only pays for genuinely absent
+                # traffic.
+                item = drain()
+                if item is not None:
+                    self.note(*item)
+                    continue
             if deadline is None:
                 sender, data = await self.endpoint.recv()
             else:

@@ -109,8 +109,19 @@ class _LocalEndpoint:
     async def send(self, receiver: int, data: bytes) -> None:
         self._transport._deliver(self.node_id, receiver, data)
 
+    def send_nowait(self, receiver: int, data: bytes) -> None:
+        """Synchronous send (queues never block); the runtime fast path."""
+        self._transport._deliver(self.node_id, receiver, data)
+
     async def recv(self) -> tuple[int, bytes]:
         return await self.queue.get()
+
+    def recv_nowait(self) -> "tuple[int, bytes] | None":
+        """Already-queued unit, or ``None`` — never suspends."""
+        try:
+            return self.queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
 
 
 class LocalTransport:
@@ -205,6 +216,13 @@ class _TcpEndpoint:
     async def recv(self) -> tuple[int, bytes]:
         return await self.queue.get()
 
+    def recv_nowait(self) -> "tuple[int, bytes] | None":
+        """Already-queued unit, or ``None`` — never suspends."""
+        try:
+            return self.queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+
     async def aclose(self) -> None:
         for writer in self._writers.values():
             writer.close()
@@ -244,6 +262,14 @@ class TcpTransport:
         self._servers: list[asyncio.Server] = []
         self._handler_tasks: set[asyncio.Task] = set()
 
+    def register_peers(self, peers: "dict[int, tuple[str, int]]") -> None:
+        """Merge ``{node_id: (host, port)}`` into the static peer map.
+
+        The cluster orchestrator's address-exchange step: workers bind
+        ephemeral ports first, then learn everyone else's addresses.
+        """
+        self._static_peers.update(peers)
+
     def address_of(self, node_id: int) -> tuple[str, int]:
         """The ``(host, port)`` a peer id listens on."""
         address = self._static_peers.get(node_id) or self._addresses.get(node_id)
@@ -272,19 +298,19 @@ class TcpTransport:
                     return  # protocol violation: drop the connection
                 sender = hello.sender
                 while True:
-                    data = await read_frame(reader)
-                    try:
-                        decode_frame(data)  # reject garbage at the door
-                    except WireError:
-                        self.malformed_frames += 1
-                        continue
-                    endpoint.queue.put_nowait((sender, data))
-            except (
-                asyncio.IncompleteReadError,
-                ConnectionError,
-                WireError,
-            ):
-                pass  # EOF, reset, or an unresynchronizable stream: drop
+                    # Codec-agnostic byte mover: units are decoded by the
+                    # receiving synchronizer (which knows the run's codec
+                    # and quarantines whatever fails), not at the door.
+                    # Only the shared MAX_FRAME_LEN cap is enforced here,
+                    # by read_frame, before any allocation happens.
+                    endpoint.queue.put_nowait((sender, await read_frame(reader)))
+            except WireError:
+                # An oversized length prefix, or a hello that does not
+                # decode: the stream cannot be resynchronized, so count
+                # the quarantine and drop the connection.
+                self.malformed_frames += 1
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass  # EOF or reset: the peer went away
             finally:
                 writer.close()
 

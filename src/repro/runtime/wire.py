@@ -1,4 +1,4 @@
-"""Wire codec for :class:`~repro.net.message.Envelope` traffic.
+"""The wire frame model and the ``json`` reference wire format.
 
 The live runtime moves protocol messages between concurrent peers, so the
 in-memory envelopes of :mod:`repro.net.message` need an on-the-wire form.
@@ -14,10 +14,17 @@ Three frame kinds exist:
 * ``hello`` — a TCP connection preamble binding the connection to a node
   id (sender identity is per-connection, not per-frame — a frame's claimed
   sender is *ignored* by receivers, mirroring Definition 2.2 item 2).
+  Hello frames are always encoded in this module's JSON form, whatever
+  codec a run selects: the handshake must be readable before any codec
+  negotiation can be trusted.
 
-Frames are JSON, one object per frame, length-prefixed on stream
-transports (:func:`read_frame` / :func:`length_prefixed`).  JSON — not pickle
-— because frames cross a trust boundary: a Byzantine peer crafts arbitrary
+*How* frames become bytes is a pluggable seam: :mod:`repro.runtime.codec`
+registers :class:`Codec` objects whose ``encode_batch``/``decode_batch``
+turn frame batches into wire units.  This module keeps the frame model,
+the shared framing limits, and the ``json`` reference format — one JSON
+object per frame, length-prefixed on stream transports
+(:func:`read_frame` / :func:`length_prefixed`).  JSON — not pickle —
+because frames cross a trust boundary: a Byzantine peer crafts arbitrary
 bytes, and decoding must never execute anything.  Payloads are therefore
 restricted to the closed domain honest protocol code actually sends
 (``None``, ``bool``, ``int``, ``float``, ``str`` and tuples thereof; see
@@ -41,8 +48,11 @@ __all__ = [
     "END",
     "HELLO",
     "MAX_FRAME_BYTES",
+    "MAX_FRAME_LEN",
+    "MAX_PAYLOAD_DEPTH",
     "MSG",
     "Frame",
+    "check_payload",
     "decode_frame",
     "encode_frame",
     "frame_for_envelope",
@@ -54,25 +64,33 @@ MSG = "msg"
 END = "end"
 HELLO = "hello"
 
-#: Hard cap on one frame's encoded size.  Generous for every protocol in
-#: the library (GVSS dealings are O(n) small ints); a peer streaming a
-#: larger length prefix is trying a memory bomb and loses its connection.
-MAX_FRAME_BYTES = 1 << 20
+#: Hard cap on one wire unit's encoded size, shared by *every* codec and
+#: enforced at the length-prefix reader before any allocation happens.
+#: Generous for every protocol in the library (a whole beat's batch to one
+#: receiver is O(n) small payloads; GVSS dealings are O(n) small ints); a
+#: peer streaming a larger length prefix is trying a memory bomb and loses
+#: its connection — the occurrence is counted in the transport's
+#: ``malformed_frames`` quarantine stat.
+MAX_FRAME_LEN = 1 << 20
+
+#: Backwards-compatible alias (pre-codec-seam name).
+MAX_FRAME_BYTES = MAX_FRAME_LEN
 
 #: Payload nesting depth cap: honest payloads nest two or three levels
-#: (tagged tuples of tuples); a thousand-level tuple is an attack.
-_MAX_DEPTH = 32
+#: (tagged tuples of tuples); a thousand-level tuple is an attack.  Every
+#: codec enforces it on both the encode and the decode side.
+MAX_PAYLOAD_DEPTH = 32
 
 
-def _check_payload(value: object, depth: int = 0) -> None:
+def check_payload(value: object, depth: int = 0) -> None:
     """Validate that ``value`` lies in the wire-safe payload domain."""
-    if depth > _MAX_DEPTH:
-        raise WireError(f"payload nesting exceeds {_MAX_DEPTH} levels")
+    if depth > MAX_PAYLOAD_DEPTH:
+        raise WireError(f"payload nesting exceeds {MAX_PAYLOAD_DEPTH} levels")
     if value is None or isinstance(value, (bool, int, float, str)):
         return
     if isinstance(value, tuple):
         for item in value:
-            _check_payload(item, depth + 1)
+            check_payload(item, depth + 1)
         return
     raise WireError(
         f"payload {value!r} of type {type(value).__name__} is outside the "
@@ -82,8 +100,8 @@ def _check_payload(value: object, depth: int = 0) -> None:
 
 def _untuple(value: object, depth: int = 0) -> Hashable:
     """Decode JSON values back into the payload domain (arrays -> tuples)."""
-    if depth > _MAX_DEPTH:
-        raise WireError(f"payload nesting exceeds {_MAX_DEPTH} levels")
+    if depth > MAX_PAYLOAD_DEPTH:
+        raise WireError(f"payload nesting exceeds {MAX_PAYLOAD_DEPTH} levels")
     if isinstance(value, list):
         return tuple(_untuple(item, depth + 1) for item in value)
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -133,7 +151,7 @@ def frame_for_envelope(envelope: Envelope, seq: int) -> Frame:
 def encode_frame(frame: Frame) -> bytes:
     """Serialize one frame to its JSON wire form (no length prefix)."""
     if frame.kind == MSG:
-        _check_payload(frame.payload)
+        check_payload(frame.payload)
         record = {
             "k": MSG,
             "s": frame.sender,
@@ -150,18 +168,18 @@ def encode_frame(frame: Frame) -> bytes:
     else:
         raise WireError(f"unknown frame kind {frame.kind!r}")
     data = json.dumps(record, separators=(",", ":")).encode("utf-8")
-    if len(data) > MAX_FRAME_BYTES:
+    if len(data) > MAX_FRAME_LEN:
         raise WireError(
-            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
         )
     return data
 
 
 def decode_frame(data: bytes) -> Frame:
     """Parse one wire frame; malformed bytes raise :class:`WireError`."""
-    if len(data) > MAX_FRAME_BYTES:
+    if len(data) > MAX_FRAME_LEN:
         raise WireError(
-            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
         )
     try:
         record = json.loads(data.decode("utf-8"))
@@ -222,8 +240,8 @@ async def read_frame(reader) -> bytes:
     """
     header = await reader.readexactly(4)
     length = int.from_bytes(header, "big")
-    if length > MAX_FRAME_BYTES:
+    if length > MAX_FRAME_LEN:
         raise WireError(
-            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_LEN})"
         )
     return await reader.readexactly(length)

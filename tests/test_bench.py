@@ -526,11 +526,12 @@ class TestCheckedInArtifacts:
             key.split("/", 1)[0]
             for key in baselines["tiers"]["smoke"]
         }
-        # engines contributes its gated per-engine trajectory digests
-        # (simulation-deterministic, so pinnable at every tier).
+        # engines and runtime_throughput contribute gated trajectory /
+        # trace digests (simulation-deterministic, so pinnable at every
+        # tier) on top of their ungated wall-clock rows.
         assert smoke_benchmarks == {
             "engines", "link_conditions", "protocol_comparison",
-            "stabilization_under_churn",
+            "runtime_throughput", "stabilization_under_churn",
         }
         for tier in ("smoke", "full", "nightly"):
             engine_keys = [

@@ -357,6 +357,83 @@ class TestRuntimeCommand:
         assert code == 1
         assert "did not converge" in out
 
+    def test_runtime_codec_flag_changes_bytes_not_beats(self, capsys):
+        def beats(codec):
+            code = main(
+                ["runtime", "--n", "4", "--f", "1", "--k", "6",
+                 "--seed", "0", "--beats", "25", "--codec", codec,
+                 "--show", "12"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert f"codec={codec}" in out
+            return [line for line in out.splitlines()
+                    if line.startswith("  beat")]
+
+        assert beats("binary") == beats("json")
+
+    def test_runtime_unknown_codec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["runtime", "--n", "4", "--f", "1", "--codec", "morse"])
+        assert excinfo.value.code == 2
+        assert "--codec" in capsys.readouterr().err
+
+
+class TestCodecsCommand:
+    def test_codecs_lists_registry_with_default(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        assert "json" in out
+        assert "binary" in out
+        assert "(default)" in out
+
+
+class TestClusterCommand:
+    def test_cluster_run_smoke_spec(self, tmp_path, capsys):
+        from repro.net.trace import records_from_jsonl
+
+        code = main(
+            ["cluster", "run", "examples/cluster_smoke.py",
+             "--trace-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster smoke-n4:" in out
+        assert "converged at beat" in out
+        trace = (tmp_path / "smoke-n4.jsonl").read_text(encoding="utf-8")
+        assert [r.beat for r in records_from_jsonl(trace)] == list(range(12))
+
+    def test_cluster_codec_override_and_only_filter(self, capsys):
+        code = main(
+            ["cluster", "run", "examples/cluster_smoke.py",
+             "--only", "smoke-n4", "--codec", "json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "codec=json" in out
+
+    def test_cluster_unknown_experiment_exits_2(self, capsys):
+        code = main(
+            ["cluster", "run", "examples/cluster_smoke.py",
+             "--only", "no-such-experiment"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cluster_bad_spec_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("experiments = []\n", encoding="utf-8")
+        code = main(["cluster", "run", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cluster_unknown_codec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cluster", "run", "examples/cluster_smoke.py",
+                  "--codec", "morse"])
+        assert excinfo.value.code == 2
+        assert "--codec" in capsys.readouterr().err
+
 
 class TestBenchCommand:
     """`python -m repro bench` smoke; the full contract is tests/test_bench.py."""

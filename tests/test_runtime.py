@@ -16,19 +16,26 @@ import pytest
 from repro.errors import ConfigurationError, TransportError, WireError
 from repro.net.message import Envelope
 from repro.runtime import (
+    CODECS,
+    DEFAULT_CODEC,
     TRANSPORTS,
     BeatSynchronizer,
+    BinaryCodec,
+    Codec,
     Frame,
+    JsonCodec,
     LocalTransport,
     TcpTransport,
     Transport,
     decode_frame,
     encode_frame,
     frame_for_envelope,
+    register_codec,
+    resolve_codec,
     resolve_transport,
     run_runtime,
 )
-from repro.runtime.wire import END, HELLO, MSG
+from repro.runtime.wire import END, HELLO, MSG, MAX_FRAME_LEN
 
 
 class TestWireCodec:
@@ -351,6 +358,101 @@ class TestTcpTransport:
             asyncio.run(scenario())
 
 
+class TestCodecRegistry:
+    def test_registry_names_and_default(self):
+        assert set(CODECS) == {"json", "binary"}
+        assert DEFAULT_CODEC == "json"
+        for name in CODECS:
+            codec = resolve_codec(name)
+            assert isinstance(codec, Codec)
+            assert codec.name == name
+            assert codec.describe()
+
+    def test_batched_flags(self):
+        """json stays per-message (the differential reference); binary
+        packs whole batches."""
+        assert resolve_codec("json").batched is False
+        assert resolve_codec("binary").batched is True
+
+    def test_instance_passes_through(self):
+        codec = BinaryCodec()
+        assert resolve_codec(codec) is codec
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            resolve_codec("morse")
+        with pytest.raises(ConfigurationError):
+            resolve_codec(42)  # type: ignore[arg-type]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_codec(JsonCodec())
+
+    def test_json_codec_wraps_the_reference_wire(self):
+        """One frame per unit, byte-identical to the pre-seam format."""
+        frame = frame_for_envelope(Envelope(2, 1, "root", "hi", 7), seq=0)
+        marker = Frame(kind=END, sender=2, beat=7)
+        units = JsonCodec().encode_batch((frame, marker))
+        assert units == (encode_frame(frame), encode_frame(marker))
+        assert JsonCodec().decode_batch(units[0]) == (frame,)
+
+
+class TestBatchedSynchronizer:
+    def _batch(self, codec, *frames) -> bytes:
+        (unit,) = codec.encode_batch(frames)
+        return unit
+
+    def test_binary_batch_delivers_whole_beat(self):
+        async def scenario():
+            codec = BinaryCodec()
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[1], codec=codec)
+            unit = self._batch(
+                codec,
+                frame_for_envelope(Envelope(1, 0, "root", "a", 0), seq=0),
+                frame_for_envelope(Envelope(1, 0, "root", "b", 0), seq=1),
+                Frame(kind=END, sender=1, beat=0),
+            )
+            endpoint.queue.put_nowait((1, unit))
+            return sync, await sync.collect(0)
+
+        sync, inbox = asyncio.run(scenario())
+        assert [e.payload for e in inbox["root"]] == ["a", "b"]
+        assert sync.malformed_frames == 0
+
+    def test_malformed_binary_unit_counted_and_dropped(self):
+        async def scenario():
+            codec = BinaryCodec()
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[1], codec=codec)
+            endpoint.queue.put_nowait((1, b"RB\x01 garbage"))
+            endpoint.queue.put_nowait(
+                (1, self._batch(codec, Frame(kind=END, sender=1, beat=0)))
+            )
+            return sync, await sync.collect(0)
+
+        sync, inbox = asyncio.run(scenario())
+        assert sync.malformed_frames == 1
+        assert inbox == {}
+
+    def test_oversized_unit_counted_as_malformed(self):
+        """The shared MAX_FRAME_LEN bound holds for queue-fed units too
+        (TCP enforces it at the length-prefix reader before the codec)."""
+        async def scenario():
+            codec = BinaryCodec()
+            endpoint = _stub_endpoint()
+            sync = BeatSynchronizer(endpoint, expected=[1], codec=codec)
+            endpoint.queue.put_nowait((1, bytes(MAX_FRAME_LEN + 1)))
+            endpoint.queue.put_nowait(
+                (1, self._batch(codec, Frame(kind=END, sender=1, beat=0)))
+            )
+            return sync, await sync.collect(0)
+
+        sync, inbox = asyncio.run(scenario())
+        assert sync.malformed_frames == 1
+        assert inbox == {}
+
+
 class TestTransportRegistry:
     def test_registry_names(self):
         assert set(TRANSPORTS) == {"local", "tcp"}
@@ -404,3 +506,25 @@ class TestRunner:
         assert result.messages_sent > 0
         assert result.late_messages == 0
         assert result.barrier_timeouts == 0
+        assert result.codec == "json"
+        assert result.malformed_frames == 0
+
+    def test_binary_codec_batches_the_wire(self):
+        """Same trajectory, far fewer wire units: one per (link, beat)."""
+        json_run = run_runtime(
+            4, 1, self._factory(), seed=0, beats=8, k=6, codec="json"
+        )
+        binary_run = run_runtime(
+            4, 1, self._factory(), seed=0, beats=8, k=6, codec="binary"
+        )
+        assert binary_run.codec == "binary"
+        assert binary_run.records == json_run.records
+        assert binary_run.messages_sent == json_run.messages_sent
+        # json: one unit per message plus one per end marker; binary:
+        # exactly one unit per (sender, receiver, beat).
+        assert binary_run.frames_sent == 4 * 4 * 8
+        assert json_run.frames_sent == json_run.messages_sent + 4 * 4 * 8
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            run_runtime(4, 1, self._factory(), beats=1, codec="morse")

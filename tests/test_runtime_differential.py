@@ -55,7 +55,7 @@ def _simulated_trace(seed: int, adversary_factory, *, engine: str = "fast"):
     return tracer.to_jsonl()
 
 
-def _live_trace(seed: int, adversary_factory):
+def _live_trace(seed: int, adversary_factory, *, codec: str = "json"):
     """The same run, live: concurrent tasks over zero-delay local queues."""
     result = run_runtime(
         4,
@@ -65,11 +65,13 @@ def _live_trace(seed: int, adversary_factory):
         seed=seed,
         beats=BEATS,
         transport="local",
+        codec=codec,
         k=6,
     )
     # Zero-delay local delivery must never degrade the round abstraction.
     assert result.late_messages == 0
     assert result.barrier_timeouts == 0
+    assert result.malformed_frames == 0
     return result.to_jsonl()
 
 
@@ -121,6 +123,45 @@ class TestLocalTransportIdentity:
         assert records_to_jsonl(loaded) == tracer.to_jsonl()
 
 
+class TestBinaryCodecIdentity:
+    """The wire format is a run-wide *spelling*, never a semantics: the
+    batched binary codec must reproduce the simulator — and therefore the
+    per-message json runs — bit for bit, under the same seed discipline.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fault_free_binary_matches_simulator(self, seed):
+        assert _live_trace(
+            seed, lambda: None, codec="binary"
+        ) == _simulated_trace(seed, lambda: None)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adversarial_binary_matches_simulator(self, seed):
+        """The Byzantine process batches its crafted traffic per link;
+        per-link FIFO content — and so the trajectory — must not move."""
+        assert _live_trace(
+            seed, EquivocatorAdversary, codec="binary"
+        ) == _simulated_trace(seed, EquivocatorAdversary)
+
+    def test_binary_and_json_runs_identical(self):
+        """Transitivity spelled out once: codec choice changes only the
+        bytes (and their count), not one record of the trajectory."""
+        assert _live_trace(3, SplitWorldAdversary, codec="binary") \
+            == _live_trace(3, SplitWorldAdversary, codec="json")
+
+    def test_binary_moves_fewer_wire_units(self):
+        json_run = run_runtime(
+            4, 1, _factory(), seed=0, beats=20, transport="local",
+            codec="json", k=6,
+        )
+        binary_run = run_runtime(
+            4, 1, _factory(), seed=0, beats=20, transport="local",
+            codec="binary", k=6,
+        )
+        assert binary_run.records == json_run.records
+        assert binary_run.frames_sent < json_run.frames_sent
+
+
 class TestTcpLoopback:
     def test_converges_and_holds_closure_under_adversary(self):
         """Acceptance: TCP loopback, n=4, f=1, live Byzantine peer —
@@ -143,15 +184,18 @@ class TestTcpLoopback:
         assert result.converged_beat <= BEATS - CLOSURE_WINDOW - 1
         assert result.barrier_timeouts == 0
 
-    def test_tcp_trajectory_matches_simulator_too(self):
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_tcp_trajectory_matches_simulator_too(self, codec):
         """Loopback sockets reorder arrivals; the barrier's canonical sort
-        must erase that noise entirely — one seed checked end to end."""
+        must erase that noise entirely — one seed checked end to end,
+        on both wire formats."""
         sim = Simulation(4, 1, _factory(), seed=1, engine="fast")
         tracer = Tracer(lambda root: root.clock_value)
         sim.add_monitor(tracer)
         sim.scramble()
         sim.run(20)
         result = run_runtime(
-            4, 1, _factory(), seed=1, beats=20, transport="tcp", k=6
+            4, 1, _factory(), seed=1, beats=20, transport="tcp", k=6,
+            codec=codec,
         )
         assert result.to_jsonl() == tracer.to_jsonl()

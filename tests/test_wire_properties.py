@@ -29,10 +29,12 @@ from repro.bench.result import (
     validate_result_record,
 )
 from repro.errors import WireError
+from repro.runtime.codec import BinaryCodec, JsonCodec
 from repro.runtime.wire import (
     END,
     HELLO,
     MSG,
+    MAX_FRAME_LEN,
     Frame,
     decode_frame,
     encode_frame,
@@ -186,6 +188,182 @@ class TestWireMalformed:
             + b"[" * 40 + b"]" * 40 + b"}"
         with pytest.raises(WireError, match="nesting"):
             decode_frame(data)
+
+
+# --------------------------------------------------------------------------
+# Batch codecs (the binary fast path against the json reference)
+# --------------------------------------------------------------------------
+
+#: Batches as the runtime emits them: a handful of frames per (link, beat).
+_batches = st.lists(_frames(), max_size=8).map(tuple)
+
+#: Payload ints wide enough to exercise the i64 table AND the bigint
+#: escape (tag 7) that values outside it take.
+_wide_int_payloads = st.tuples(
+    st.integers(min_value=-(2**100), max_value=2**100),
+    st.integers(min_value=-(2**100), max_value=2**100),
+)
+
+
+class TestBinaryCodecRoundTrip:
+    @given(_batches)
+    def test_batch_round_trip_is_identity(self, batch):
+        codec = BinaryCodec()
+        units = codec.encode_batch(batch)
+        assert len(units) == 1  # batched codec: one unit per batch
+        decoded = codec.decode_batch(units[0])
+        assert decoded == batch
+        # Canonical form: tables intern in first-use order, so the
+        # decoded frames re-encode to the exact same bytes.
+        assert codec.encode_batch(decoded) == units
+
+    @given(_batches)
+    def test_json_and_binary_decode_the_same_frames(self, batch):
+        """The two codecs are different spellings of one frame stream."""
+        jcodec, bcodec = JsonCodec(), BinaryCodec()
+        via_json = tuple(
+            frame
+            for unit in jcodec.encode_batch(batch)
+            for frame in jcodec.decode_batch(unit)
+        )
+        (bunit,) = bcodec.encode_batch(batch)
+        assert via_json == bcodec.decode_batch(bunit) == batch
+
+    @given(_wide_int_payloads)
+    def test_out_of_i64_ints_take_the_bigint_escape(self, payload):
+        codec = BinaryCodec()
+        (unit,) = codec.encode_batch(
+            (Frame(kind=MSG, sender=0, receiver=1, path="r",
+                   payload=payload),)
+        )
+        assert codec.decode_batch(unit)[0].payload == payload
+
+    def test_payload_types_survive_int_bool_aliasing(self):
+        """True == 1 and 1.0 == 1; the int table must not conflate them."""
+        codec = BinaryCodec()
+        batch = (Frame(kind=MSG, sender=1, receiver=0, path="p",
+                       payload=(True, 1, False, 0, 1.0)),
+                 Frame(kind=END, sender=1, beat=0))
+        (unit,) = codec.encode_batch(batch)
+        decoded = codec.decode_batch(unit)
+        assert decoded == batch
+        assert [type(v) for v in decoded[0].payload] \
+            == [bool, int, bool, int, float]
+
+
+class TestBinaryCodecMalformed:
+    @given(st.binary(max_size=300))
+    def test_arbitrary_bytes_never_escape_wireerror(self, data):
+        """decode_batch is total: frames out, or WireError — nothing else."""
+        codec = BinaryCodec()
+        try:
+            frames = codec.decode_batch(data)
+        except WireError:
+            return
+        # Anything accepted must be canonical (a genuine unit).
+        assert codec.encode_batch(frames) == (data,)
+
+    @given(st.binary(max_size=300))
+    def test_magic_prefixed_garbage_never_escapes_wireerror(self, tail):
+        """Past the magic check is where the structural parsing lives."""
+        codec = BinaryCodec()
+        try:
+            codec.decode_batch(b"RB\x01" + tail)
+        except WireError:
+            pass
+
+    @given(_batches, st.data())
+    def test_truncations_raise_wireerror(self, batch, data):
+        codec = BinaryCodec()
+        (unit,) = codec.encode_batch(batch)
+        cut = data.draw(st.integers(min_value=0, max_value=len(unit) - 1))
+        with pytest.raises(WireError):
+            codec.decode_batch(unit[:cut])
+
+    @given(_batches, st.binary(min_size=1, max_size=16))
+    def test_trailing_bytes_raise_wireerror(self, batch, tail):
+        codec = BinaryCodec()
+        (unit,) = codec.encode_batch(batch)
+        with pytest.raises(WireError):
+            codec.decode_batch(unit + tail)
+
+    @given(_batches, st.data())
+    def test_single_byte_corruption_never_escapes_wireerror(self, batch,
+                                                            data):
+        codec = BinaryCodec()
+        (unit,) = codec.encode_batch(batch)
+        pos = data.draw(st.integers(min_value=0, max_value=len(unit) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        corrupt = bytes(unit[:pos]) \
+            + bytes((unit[pos] ^ flip,)) + bytes(unit[pos + 1:])
+        try:
+            frames = codec.decode_batch(corrupt)
+        except WireError:
+            return
+        for frame in frames:
+            assert isinstance(frame, Frame)
+
+    @given(st.one_of(
+        st.lists(st.integers(), max_size=3),
+        st.dictionaries(st.text(max_size=5), st.integers(), max_size=3),
+        st.sets(st.integers(), max_size=3),
+        st.binary(max_size=8),
+    ))
+    def test_out_of_domain_payloads_rejected_at_encode(self, payload):
+        frame = Frame(kind=MSG, sender=0, receiver=1, path="root",
+                      payload=payload)
+        with pytest.raises(WireError):
+            BinaryCodec().encode_batch((frame,))
+
+    @pytest.mark.parametrize("field", ["sender", "beat", "seq", "receiver"])
+    @pytest.mark.parametrize("value", [True, "3", 1.5, None, 1 << 70])
+    def test_non_int_frame_fields_rejected_at_encode(self, field, value):
+        frame = Frame(**{
+            "kind": MSG, "sender": 0, "receiver": 1, "path": "r",
+            field: value,
+        })
+        with pytest.raises(WireError):
+            BinaryCodec().encode_batch((frame,))
+
+    def test_depth_bomb_rejected_both_ways(self):
+        codec = BinaryCodec()
+        deep = ()
+        for _ in range(40):
+            deep = (deep,)
+        with pytest.raises(WireError, match="nesting"):
+            codec.encode_batch((Frame(kind=MSG, sender=0, payload=deep),))
+        # Decode side: a hand-built unit whose payload nests 40 tuples.
+        unit = (
+            b"RB\x01"
+            + b"\x00\x00\x00\x03"                      # 3 int-table entries
+            + (0).to_bytes(8, "big") * 2 + (1).to_bytes(8, "big")
+            + b"\x00\x00\x00\x01" + b"\x00\x00\x00\x01p"  # str table: "p"
+            + b"\x00\x00\x00\x01"                      # one frame
+            + b"\x00" + b"\x00\x00\x00\x00" * 5        # msg, all refs 0
+            + b"\x06\x00\x00\x00\x01" * 40 + b"\x00"   # nested tuples
+        )
+        with pytest.raises(WireError, match="nesting"):
+            codec.decode_batch(unit)
+
+    def test_oversized_batch_rejected_at_encode(self):
+        frame = Frame(kind=MSG, sender=0, receiver=1, path="r",
+                      payload="x" * (MAX_FRAME_LEN + 1))
+        with pytest.raises(WireError, match="cap"):
+            BinaryCodec().encode_batch((frame,))
+
+    def test_oversized_unit_rejected_at_decode(self):
+        with pytest.raises(WireError, match="cap"):
+            BinaryCodec().decode_batch(b"RB\x01" + bytes(MAX_FRAME_LEN))
+
+    def test_forged_table_counts_cannot_balloon(self):
+        """A tiny unit claiming huge tables must fail fast, not allocate."""
+        codec = BinaryCodec()
+        for forged in (
+            b"RB\x01" + b"\xff\xff\xff\xff",                # int count
+            b"RB\x01" + b"\x00\x00\x00\x00\xff\xff\xff\xff",  # str count
+        ):
+            with pytest.raises(WireError):
+                codec.decode_batch(forged)
 
 
 # --------------------------------------------------------------------------
