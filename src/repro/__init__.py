@@ -57,6 +57,14 @@ from repro.net.linkmodel import (
     normalize_link_params,
 )
 from repro.net.simulator import Simulation
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    diff_records,
+    read_trace,
+    summarize_trace,
+    write_trace,
+)
 from repro.runtime import (
     TRANSPORTS,
     LocalTransport,
@@ -76,11 +84,13 @@ __all__ = [
     "ConfigurationError",
     "DEFAULT_PROTOCOL",
     "FeldmanMicaliCoin",
+    "FlightRecorder",
     "LINK_MODELS",
     "LinkModel",
     "LocalCoin",
     "LocalTransport",
     "LossyLinks",
+    "MetricsRegistry",
     "OracleCoin",
     "PROTOCOLS",
     "PartitionLinks",
@@ -100,15 +110,19 @@ __all__ = [
     "TrialConfig",
     "TrialResult",
     "coin_by_name",
+    "diff_records",
     "make_link",
     "normalize_link_params",
+    "read_trace",
     "register_protocol",
     "resolve_protocol",
     "run_campaign",
     "run_runtime",
     "run_trial",
     "scenario_grid",
+    "summarize_trace",
     "synchronize",
+    "write_trace",
     "__version__",
 ]
 
@@ -146,6 +160,7 @@ def synchronize(
     link: str = "perfect",
     link_params: dict | None = None,
     churn: object = None,
+    trace: bool = False,
 ) -> TrialResult:
     """Run a registered protocol from a worst-case scrambled state.
 
@@ -165,7 +180,9 @@ def synchronize(
     :class:`~repro.faults.dynamic.ChurnSchedule` or an iterable of
     ``(beat, kind, node_ids)`` triples, e.g.
     ``churn=[(25, "crash", (0,)), (40, "recover", (0,))]``; convergence
-    is then measured from the last membership event.
+    is then measured from the last membership event.  ``trace=True``
+    records the per-beat clock trajectory on ``result.records``, export
+    it with ``result.to_jsonl()`` (the shared JSONL trace format).
     """
     from repro.faults.dynamic import ChurnSchedule
 
@@ -186,5 +203,6 @@ def synchronize(
         link=link,
         link_params=normalize_link_params(link_params),
         churn=schedule.normalized() if schedule is not None else (),
+        trace=trace,
     )
     return run_trial(config, seed)

@@ -64,6 +64,11 @@ class TrialConfig:
             — ``(beat, kind, node_ids)`` triples, hashable and picklable;
             empty means a static world.  Convergence is measured from the
             last fault of any kind (scramble *or* membership event).
+        trace: attach a clock-probing :class:`~repro.net.trace.Tracer`
+            and carry its records on ``TrialResult.records``, making the
+            trial's trajectory exportable in the shared JSONL format
+            (``repro run --trace``); off by default — tracing costs one
+            probe sweep per beat and most sweeps never read it.
     """
 
     n: int
@@ -80,6 +85,7 @@ class TrialConfig:
     link: str = "perfect"
     link_params: tuple[tuple[str, object], ...] = ()
     churn: tuple[tuple[int, str, tuple[int, ...]], ...] = ()
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -98,10 +104,29 @@ class TrialResult:
     history: tuple[tuple[int | None, ...], ...] = field(repr=False)
     dropped_messages: int = 0
     delayed_messages: int = 0
+    #: Per-beat probe records when the config asked for a trace
+    #: (``TrialConfig.trace``); empty otherwise.
+    records: tuple = field(default=(), repr=False)
 
     @property
     def converged(self) -> bool:
         return self.converged_beat is not None
+
+    def to_jsonl(self) -> str:
+        """The traced trajectory in the shared JSONL format.
+
+        Raises :class:`ConfigurationError` when the trial ran without
+        ``TrialConfig.trace`` — an empty trace file would read as "zero
+        beats happened", which is not what an untraced trial means.
+        """
+        if not self.records:
+            raise ConfigurationError(
+                "trial ran without trace=True, so there are no records "
+                "to serialize"
+            )
+        from repro.net.trace import records_to_jsonl
+
+        return records_to_jsonl(self.records)
 
     @property
     def latency(self) -> int | None:
@@ -137,6 +162,12 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
     )
     monitor = ClockConvergenceMonitor(config.k)
     simulation.add_monitor(monitor)
+    tracer = None
+    if config.trace:
+        from repro.net.trace import Tracer
+
+        tracer = Tracer(lambda root: getattr(root, "clock_value", None))
+        simulation.add_monitor(tracer)
     if config.scramble:
         simulation.scramble()
     scramble_beats = frozenset(config.scramble_beats)
@@ -175,6 +206,7 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
         history=tuple(monitor.history),
         dropped_messages=simulation.stats.dropped_messages,
         delayed_messages=simulation.stats.delayed_messages,
+        records=tuple(tracer.records) if tracer is not None else (),
     )
 
 

@@ -36,9 +36,16 @@ def _factory():
     return lambda _node_id: SSByzClockSync(8, lambda: OracleCoin())
 
 
-def _run_once(n: int, f: int, beats: int, seed: int, codec: str):
+def _run_once(
+    n: int, f: int, beats: int, seed: int, codec: str, telemetry: bool = False
+):
     from repro.runtime import run_runtime
 
+    kwargs = {}
+    if telemetry:
+        from repro.obs import FlightRecorder, MetricsRegistry
+
+        kwargs = {"metrics": MetricsRegistry(), "recorder": FlightRecorder()}
     return run_runtime(
         n,
         f,
@@ -48,6 +55,7 @@ def _run_once(n: int, f: int, beats: int, seed: int, codec: str):
         transport="local",
         codec=codec,
         k=8,
+        **kwargs,
     )
 
 
@@ -194,6 +202,77 @@ def run(
                 f"trace on the digest case (n={case['n']}, "
                 f"seed={case['seed']})"
             )
+
+    # -- telemetry parity: instrumentation must not perturb (gated digest)
+    # nor meaningfully slow the run (soft throughput guard + ungated rate).
+    tele_n, tele_f = 16, 5
+    for codec in codecs:
+        best = None
+        for _ in range(repeats):
+            result = _run_once(
+                tele_n, tele_f, beats, seed, codec, telemetry=True
+            )
+            if best is None or result.elapsed_s < best.elapsed_s:
+                best = result
+        results.append(
+            BenchResult(
+                benchmark="runtime_throughput",
+                metric="messages_per_sec",
+                value=best.messages_per_sec,
+                unit="msgs/s",
+                scenario={"transport": "local", "codec": codec,
+                          "n": tele_n, "f": tele_f, "telemetry": "on"},
+                direction="higher",
+                gated=False,  # wall-clock: too noisy for CI gating
+            )
+        )
+        plain = next(
+            (
+                row for row in rows
+                if row["n"] == tele_n and row["codec"] == codec
+            ),
+            None,
+        )
+        if plain is not None and best.messages_per_sec < (
+            0.75 * plain["messages_per_sec"]
+        ):
+            failures.append(
+                f"telemetry-enabled runtime at n={tele_n} codec={codec} "
+                f"ran at {best.messages_per_sec:.0f} msgs/s vs "
+                f"{plain['messages_per_sec']:.0f} plain — instrumentation "
+                "overhead exceeds the near-zero budget"
+            )
+        tele_result = _run_once(
+            case["n"], case["f"], case["beats"], case["seed"], codec,
+            telemetry=True,
+        )
+        tele_digest = hashlib.sha256(
+            tele_result.to_jsonl().encode("utf-8")
+        ).hexdigest()
+        tele_match = 1.0 if tele_digest == reference else 0.0
+        results.append(
+            BenchResult(
+                benchmark="runtime_throughput",
+                metric="trace_match",
+                value=tele_match,
+                unit="match",
+                scenario={"transport": "local", "codec": codec,
+                          "n": case["n"], "f": case["f"],
+                          "telemetry": "on"},
+                direction="higher",
+                gated=True,  # no-perturbation invariant: exact at any tier
+            )
+        )
+        digest_lines.append(
+            f"{codec + '+obs':<8} {tele_digest[:16]}…    "
+            f"{'match' if tele_match else 'MISMATCH'}"
+        )
+        if not tele_match:
+            failures.append(
+                f"telemetry-enabled runtime codec {codec!r} diverged from "
+                f"the simulator trace on the digest case — instrumentation "
+                "perturbed the trajectory"
+            )
     return BenchOutcome(
         results=tuple(results),
         failures=tuple(failures),
@@ -224,7 +303,8 @@ register(
         },
         description="live-runtime beats/sec and messages/sec per wire "
                     "codec on LocalTransport, with gated trace digests "
-                    "against the lock-step simulator",
+                    "against the lock-step simulator (bare and "
+                    "telemetry-enabled — the no-perturbation invariant)",
         source="benchmarks/bench_runtime_throughput.py",
     )
 )

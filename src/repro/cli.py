@@ -17,6 +17,11 @@ Commands:
   :mod:`repro.runtime.orchestrator`);
 * ``bench`` — the unified benchmark subsystem (``list``, ``run``,
   ``compare``, ``gate``; see :mod:`repro.bench.cli`);
+* ``trace`` — JSONL trace tooling (see :mod:`repro.obs`): ``inspect``
+  summarizes a trace, ``diff`` reports the first divergent beat between
+  two traces (non-zero exit on mismatch — the differential suites' byte
+  compare as a command), ``metrics`` renders a ``--metrics-out``
+  document as JSON or Prometheus text;
 * ``protocols`` — list the registered protocol catalog;
 * ``adversaries`` — list the built-in Byzantine strategies;
 * ``links`` — list the built-in link-condition models;
@@ -192,6 +197,17 @@ def _build_parser() -> argparse.ArgumentParser:
         demo.add_argument("--seed", type=int, default=0)
         demo.add_argument("--beats", type=int, default=200)
         demo.add_argument("--show", type=int, default=16, help="beats to print")
+        demo.add_argument(
+            "--trace", dest="trace_path", default=None, metavar="FILE",
+            help="write the per-beat clock trajectory as JSONL (the same "
+                 "format `repro runtime --trace` emits)",
+        )
+        demo.add_argument(
+            "--no-early-stop", action="store_true",
+            help="always run the full --beats budget (a trace then has "
+                 "exactly --beats records, diffable against a runtime "
+                 "trace of the same seed)",
+        )
         _add_link_arguments(demo, grid=False)
         _add_dynamic_arguments(demo, grid=False)
 
@@ -251,6 +267,15 @@ def _build_parser() -> argparse.ArgumentParser:
     runtime.add_argument(
         "--trace", dest="trace_path", default=None, metavar="FILE",
         help="write the per-beat clock trajectory as JSONL",
+    )
+    runtime.add_argument(
+        "--metrics-out", dest="metrics_path", default=None, metavar="FILE",
+        help="export the run's metrics registry (JSON document; or "
+             "Prometheus text with --metrics-format prometheus)",
+    )
+    runtime.add_argument(
+        "--metrics-format", default="json", choices=["json", "prometheus"],
+        help="serialization for --metrics-out",
     )
     runtime.add_argument("--show", type=int, default=12, help="beats to print")
 
@@ -346,7 +371,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write each experiment's JSONL trace into this directory",
     )
     cluster_run.add_argument(
+        "--metrics-out", dest="metrics_dir", default=None, metavar="DIR",
+        help="write each experiment's merged metrics registry into this "
+             "directory as <name>.metrics.json",
+    )
+    cluster_run.add_argument(
         "--show", type=int, default=8, help="beats to print per experiment"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="inspect, diff and export JSONL traces"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_inspect = trace_commands.add_parser(
+        "inspect", help="summarize one trace: beats, nodes, convergence, "
+                        "flight-recorder events",
+    )
+    trace_inspect.add_argument("path", metavar="TRACE", help="JSONL trace file")
+    trace_inspect.add_argument(
+        "--k", type=int, default=None,
+        help="clock modulus; enables Definition 3.2 convergence detection",
+    )
+    trace_inspect.add_argument(
+        "--series", type=int, default=None, metavar="NODE",
+        help="also print this node's per-beat probe series",
+    )
+    trace_diff = trace_commands.add_parser(
+        "diff", help="first-divergent-beat report between two traces "
+                     "(exit 1 on divergence; event lines are ignored)",
+    )
+    trace_diff.add_argument("left", metavar="LEFT", help="JSONL trace file")
+    trace_diff.add_argument("right", metavar="RIGHT", help="JSONL trace file")
+    trace_metrics = trace_commands.add_parser(
+        "metrics", help="render a --metrics-out JSON document",
+    )
+    trace_metrics.add_argument(
+        "path", metavar="METRICS", help="metrics JSON document"
+    )
+    trace_metrics.add_argument(
+        "--format", dest="metrics_format", default="prometheus",
+        choices=["json", "prometheus"],
+        help="output rendering (default: Prometheus text exposition)",
     )
 
     from repro.bench.cli import configure_parser as configure_bench_parser
@@ -379,10 +444,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             adversary=ADVERSARIES[adversary_name](),
             seed=args.seed,
             max_beats=args.beats,
+            early_stop=not args.no_early_stop,
             engine=args.engine,
             link=link,
             link_params=link_params,
             churn=churn,
+            trace=args.trace_path is not None,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -402,6 +469,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"{v:>4}" if v is not None else "   ⊥" for v in values
         )
         print(f"  beat {beat:>3} | {cells}")
+    if args.trace_path:
+        with open(args.trace_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_jsonl())
+        print(
+            f"wrote {len(result.records)}-beat trace to {args.trace_path}"
+        )
     casualties = ""
     if result.dropped_messages or result.delayed_messages:
         casualties = (
@@ -419,6 +492,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_runtime(args: argparse.Namespace) -> int:
     protocol = resolve_protocol(args.protocol)
     coin_factory = coin_by_name(args.coin, args.n, args.f)
+    registry = None
+    if args.metrics_path:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     try:
         result = run_runtime(
             args.n,
@@ -431,6 +509,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             codec=args.codec,
             k=args.k,
             beat_timeout=args.beat_timeout,
+            metrics=registry,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -447,10 +526,27 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             for i in sorted(record.values)
         )
         print(f"  beat {record.beat:>3} | {cells}")
+    health = " ".join(
+        f"{name}={count}" for name, count in result.health.items()
+    )
+    frames = " ".join(
+        f"{node_id}:{count}"
+        for node_id, count in sorted((result.frames_by_node or {}).items())
+    )
+    print(f"  health    | {health}")
+    print(f"  frames    | {result.frames_sent} total ({frames})")
     if args.trace_path:
         with open(args.trace_path, "w", encoding="utf-8") as handle:
             handle.write(result.to_jsonl())
         print(f"wrote {len(result.records)}-beat trace to {args.trace_path}")
+    if args.metrics_path:
+        with open(args.metrics_path, "w", encoding="utf-8") as handle:
+            if args.metrics_format == "prometheus":
+                handle.write(registry.to_prometheus())
+            else:
+                json.dump(registry.to_json(), handle, indent=2)
+                handle.write("\n")
+        print(f"wrote {args.metrics_format} metrics to {args.metrics_path}")
     casualties = ""
     if result.late_messages or result.barrier_timeouts:
         casualties = (
@@ -511,12 +607,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 for i in sorted(record.values)
             )
             print(f"  beat {record.beat:>3} | {cells}")
+        health = " ".join(
+            f"{name}={count}" for name, count in result.health.items()
+        )
+        print(f"  health   | {health}")
         if args.trace_dir:
             os.makedirs(args.trace_dir, exist_ok=True)
             trace_path = os.path.join(args.trace_dir, f"{spec.name}.jsonl")
             with open(trace_path, "w", encoding="utf-8") as handle:
                 handle.write(result.to_jsonl())
             print(f"  wrote {len(result.records)}-beat trace to {trace_path}")
+        if args.metrics_dir:
+            os.makedirs(args.metrics_dir, exist_ok=True)
+            metrics_path = os.path.join(
+                args.metrics_dir, f"{spec.name}.metrics.json"
+            )
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(result.metrics.to_json(), handle, indent=2)
+                handle.write("\n")
+            print(f"  wrote merged worker metrics to {metrics_path}")
         rate = (
             f"{result.beats_per_sec:.0f} beats/s, "
             f"{result.messages_per_sec:.0f} msgs/s, "
@@ -728,6 +837,76 @@ def _cmd_codecs(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_text(path: str) -> str:
+    """Read one file, mapping OS errors to :class:`ConfigurationError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read {path!r}: {error}") from None
+
+
+def _parse_trace(path: str):
+    """Parse one JSONL trace file (malformed lines → ConfigurationError)."""
+    from repro.obs import read_trace
+
+    try:
+        return read_trace(_read_text(path))
+    except (ValueError, KeyError, TypeError) as error:
+        raise ConfigurationError(
+            f"{path!r} is not a JSONL trace: {error}"
+        ) from None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import diff_records, summarize_trace
+
+    try:
+        if args.trace_command == "inspect":
+            trace = _parse_trace(args.path)
+            summary = summarize_trace(trace, k=args.k)
+            print(f"trace {args.path}")
+            print(summary.describe())
+            if args.series is not None:
+                series = [
+                    record.values.get(args.series)
+                    for record in trace.records
+                ]
+                print(f"  node {args.series} : {series}")
+            return 0
+        if args.trace_command == "diff":
+            left = _parse_trace(args.left)
+            right = _parse_trace(args.right)
+            diff = diff_records(left.records, right.records)
+            if diff is None:
+                print(
+                    f"traces match: {len(left.records)} records "
+                    f"({args.left} == {args.right})"
+                )
+                return 0
+            print(f"left : {args.left}\nright: {args.right}")
+            print(diff.describe())
+            return 1
+        # metrics: validate the document, then render it.
+        from repro.obs import render_prometheus, validate_metrics_json
+
+        try:
+            payload = json.loads(_read_text(args.path))
+            validate_metrics_json(payload)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{args.path!r} is not a metrics document: {error}"
+            ) from None
+        if args.metrics_format == "prometheus":
+            print(render_prometheus(payload), end="")
+        else:
+            print(json.dumps(payload, indent=2))
+        return 0
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.cli import handle
 
@@ -742,6 +921,7 @@ _HANDLERS = {
     "campaign": _cmd_campaign,
     "runtime": _cmd_runtime,
     "cluster": _cmd_cluster,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "adversaries": _cmd_adversaries,

@@ -121,6 +121,17 @@ class MessageStats:
     def messages_at_beat(self, beat: int) -> int:
         return self.per_beat.get(beat, 0)
 
+    def as_dict(self) -> dict[str, int]:
+        """The scalar totals as one name-keyed snapshot — what engine
+        parity tests compare and metrics collectors read."""
+        return {
+            "total_messages": self.total_messages,
+            "honest_messages": self.honest_messages,
+            "byzantine_messages": self.byzantine_messages,
+            "dropped_messages": self.dropped_messages,
+            "delayed_messages": self.delayed_messages,
+        }
+
 
 class Router:
     """Collects one beat's messages and routes them into per-node inboxes."""

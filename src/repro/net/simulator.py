@@ -105,6 +105,12 @@ class Simulation:
             recovery scrambles the node's state from the ``"faults"``
             RNG stream (a rebooted machine remembers nothing
             trustworthy).
+        metrics: a :class:`~repro.obs.MetricsRegistry` to re-home this
+            run's accounting onto (``sim_*`` instruments populated by a
+            collector at export time), or ``None`` (the default) for no
+            telemetry.  Either way the beat loop is untouched, so an
+            instrumented run's trajectory is byte-identical to a bare
+            one — the invariant ``tests/test_obs.py`` pins.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class Simulation:
         engine: "str | Engine" = DEFAULT_ENGINE,
         link: "str | LinkModel" = DEFAULT_LINK,
         churn: "ChurnSchedule | object | None" = None,
+        metrics: "object | None" = None,
     ) -> None:
         if enforce_resilience:
             check_resilience(n, f)
@@ -180,6 +187,11 @@ class Simulation:
         self.beat = 0
         self.monitors: list[Monitor] = []
         self._fault_rng = self.seeds.stream("faults")
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.obs.metrics import bind_simulation
+
+            bind_simulation(metrics, self)
 
     # -- observation ------------------------------------------------------
 

@@ -83,9 +83,15 @@ class Tracer:
         self.records: list[BeatRecord] = []
 
     def __call__(self, simulation: "Simulation", beat: int) -> None:
+        # Snapshot the *active* roots: under churn a crashed tower's
+        # frozen clock is not part of the system's state.  Without churn
+        # active == honest, so static-membership traces are unchanged.
+        roots = getattr(
+            simulation, "active_roots", simulation.honest_roots
+        )()
         values = {
             node_id: self.probe(root)
-            for node_id, root in sorted(simulation.honest_roots().items())
+            for node_id, root in sorted(roots.items())
         }
         record = BeatRecord(beat, values)
         self.records.append(record)
@@ -93,8 +99,13 @@ class Tracer:
             self.printer(format_clock_row(record, simulation.faulty_ids))
 
     def series(self, node_id: int) -> list[Any]:
-        """The probe's trajectory at one node."""
-        return [record.values[node_id] for record in self.records]
+        """The probe's trajectory at one node.
+
+        Total under membership churn: beats where the node was inactive
+        (crashed, departed, or not yet joined) yield ``None`` instead of
+        raising, so a series always has one entry per recorded beat.
+        """
+        return [record.values.get(node_id) for record in self.records]
 
     def to_jsonl(self) -> str:
         """The whole trace in the shared JSONL format."""
@@ -107,12 +118,21 @@ def records_to_jsonl(records: Iterable[BeatRecord]) -> str:
 
 
 def records_from_jsonl(text: str) -> list[BeatRecord]:
-    """Parse a JSONL trace (blank lines ignored) back into records."""
-    return [
-        BeatRecord.from_jsonl(line)
-        for line in text.splitlines()
-        if line.strip()
-    ]
+    """Parse a JSONL trace (blank lines ignored) back into records.
+
+    Flight-recorder event lines (:mod:`repro.obs.recorder` — objects
+    carrying an ``"event"`` key) are skipped, so traces written with
+    telemetry enabled read back to the same records as bare ones; use
+    :func:`repro.obs.read_trace` to get the events too.
+    """
+    records = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if '"event"' in line and "event" in json.loads(line):
+            continue
+        records.append(BeatRecord.from_jsonl(line))
+    return records
 
 
 def format_clock_row(record: BeatRecord, faulty_ids: frozenset[int]) -> str:

@@ -1,0 +1,84 @@
+"""Telemetry: one instrumentation surface for every execution layer.
+
+Every layer of this repository used to emit its own ad-hoc numbers —
+:class:`~repro.net.network.MessageStats` totals inside the engines, the
+:class:`~repro.runtime.sync.BeatSynchronizer`'s late/premature/malformed
+counters, per-node ``frames_sent`` on the runtime — with no single place
+to read a run's health.  This package is that place:
+
+* :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments.
+  The scattered counters are *re-homed* onto it by collectors that read
+  the existing accounting at export time, so enabling a registry can
+  never change a gated metric value (it never touches the hot path).
+  Registries serialize to a versioned JSON document and render as
+  Prometheus text, and merge — the cluster orchestrator merges one
+  registry per worker process into the :class:`ClusterResult`.
+* :mod:`~repro.obs.recorder` — the :class:`FlightRecorder`, a
+  simulation monitor (and runtime post-processor) producing typed
+  :class:`TraceEvent` records — beat timings, per-beat message/drop
+  tallies, coin outcomes, churn events, barrier stalls — that extend
+  the shared JSONL trace format side by side with the existing
+  :class:`~repro.net.trace.BeatRecord` probe rows.  Event lines are
+  versioned and ignored by :func:`~repro.net.trace.records_from_jsonl`,
+  so every old trace (and every old reader) keeps working byte-for-byte.
+* :mod:`~repro.obs.traces` — analysis behind the ``repro trace`` CLI
+  family: :func:`summarize_trace` (``inspect``), :func:`diff_records`
+  (``diff`` — the differential suites' first-divergent-beat report as a
+  reusable tool), and the metrics-document rendering (``metrics``).
+
+The load-bearing invariant, pinned by ``tests/test_obs.py``: enabling
+telemetry never perturbs a trajectory.  Same seeds, same RNG draws,
+byte-identical traces with instrumentation on or off, across all three
+simulation engines and both wire codecs.
+"""
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bind_simulation,
+    record_runtime,
+    render_prometheus,
+    validate_metrics_json,
+)
+from repro.obs.recorder import (
+    EVENT_VERSION,
+    FlightRecorder,
+    Trace,
+    TraceEvent,
+    read_trace,
+    write_trace,
+)
+from repro.obs.traces import (
+    TraceDiff,
+    TraceSummary,
+    diff_records,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_VERSION",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Trace",
+    "TraceDiff",
+    "TraceEvent",
+    "TraceSummary",
+    "bind_simulation",
+    "diff_records",
+    "read_trace",
+    "record_runtime",
+    "render_prometheus",
+    "summarize_trace",
+    "validate_metrics_json",
+    "write_trace",
+]

@@ -1,0 +1,282 @@
+"""The flight recorder: typed event lines beside the probe rows.
+
+The shared JSONL trace format (:mod:`repro.net.trace`) carries exactly
+one thing — per-beat probe snapshots.  The :class:`FlightRecorder` adds
+what a post-mortem needs and a probe cannot express: how long each beat
+took, how much traffic it moved and lost, which way each coin landed,
+when the membership changed, and where the runtime's round barrier
+stalled.
+
+Events are extra JSONL lines of the shape::
+
+    {"event": "beat", "v": 1, "beat": 3, "data": {...}}
+
+interleaved with the ``{"beat": ..., "values": ...}`` probe rows by
+:func:`write_trace` and split back apart by :func:`read_trace`.  The
+``event`` key is the discriminator and ``v`` (:data:`EVENT_VERSION`)
+versions the payload.  Two compatibility promises hold: old traces
+contain no event lines, so they parse unchanged; and
+:func:`repro.net.trace.records_from_jsonl` skips event lines, so every
+*old reader* keeps working on new traces too.
+
+Event kinds and their ``data`` payloads:
+
+``beat``
+    Per-beat tallies: ``messages`` sent, ``dropped`` and ``delayed`` by
+    the link model, ``active`` membership size, ``elapsed_us``
+    wall-clock duration.  Wall time is the one non-deterministic field;
+    trace comparison tooling (``repro trace diff``) ignores event lines
+    entirely for exactly that reason.
+``coin``
+    One resolved coin-flipping instance: the pipeline ``path``, the
+    global ``outcome`` (``E0``/``E1``/``divergent``) and whether the
+    nodes ``agreed`` (Definition 2.6's guaranteed events).
+``churn``
+    One membership event: its ``kind`` (crash/recover/join/leave) and
+    the ``nodes`` it struck.
+``barrier``
+    Runtime round-barrier health: ``late``/``premature``/``malformed``
+    drops and barrier ``timeouts`` accumulated over the run.
+``run``
+    Whole-run summary: totals and convergence, appended last.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.net.trace import BeatRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.simulator import Simulation
+
+__all__ = [
+    "EVENT_VERSION",
+    "FlightRecorder",
+    "Trace",
+    "TraceEvent",
+    "read_trace",
+    "write_trace",
+]
+
+#: Version stamped into every event line's ``v`` field.  Readers accept
+#: any version (unknown payload keys ride along untouched); writers only
+#: ever emit the current one.
+EVENT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed event line in a JSONL trace."""
+
+    kind: str
+    beat: int
+    data: dict
+    version: int = EVENT_VERSION
+
+    def to_jsonl(self) -> str:
+        """This event as one JSONL line (no trailing newline).
+
+        Keys are emitted sorted, so equal events serialize to equal
+        bytes — the same canonicalization :class:`BeatRecord` uses.
+        """
+        return json.dumps(
+            {
+                "event": self.kind,
+                "v": self.version,
+                "beat": self.beat,
+                "data": self.data,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_jsonl(cls, line: str) -> "TraceEvent":
+        """Parse one event line (any version) back into an event."""
+        obj = json.loads(line)
+        return cls(
+            kind=str(obj["event"]),
+            beat=int(obj.get("beat", -1)),
+            data=obj.get("data", {}),
+            version=int(obj.get("v", EVENT_VERSION)),
+        )
+
+
+@dataclass
+class Trace:
+    """A parsed JSONL trace: probe rows plus flight-recorder events."""
+
+    records: list[BeatRecord] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        """Every event of one kind, in emission order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def to_jsonl(self) -> str:
+        """Serialize back to interleaved JSONL (see :func:`write_trace`)."""
+        return write_trace(self.records, self.events)
+
+
+def write_trace(
+    records: Iterable[BeatRecord], events: Iterable[TraceEvent] = ()
+) -> str:
+    """Serialize probe rows and events to one JSONL document.
+
+    Each beat's probe row comes first, followed by that beat's events;
+    events for beats past the last record (run summaries, barrier
+    tallies) trail at the end.  With no events this is byte-identical to
+    :func:`repro.net.trace.records_to_jsonl` — the old format is the new
+    format's no-event special case.
+    """
+    records = list(records)
+    by_beat: dict[int, list[TraceEvent]] = {}
+    trailing: list[TraceEvent] = []
+    recorded_beats = {record.beat for record in records}
+    for event in events:
+        if event.beat in recorded_beats:
+            by_beat.setdefault(event.beat, []).append(event)
+        else:
+            trailing.append(event)
+    lines: list[str] = []
+    for record in records:
+        lines.append(record.to_jsonl())
+        for event in by_beat.get(record.beat, ()):
+            lines.append(event.to_jsonl())
+    for event in trailing:
+        lines.append(event.to_jsonl())
+    return "".join(line + "\n" for line in lines)
+
+
+def read_trace(text: str) -> Trace:
+    """Parse a JSONL trace, splitting probe rows from event lines.
+
+    The discriminator is the ``event`` key; every other non-blank line
+    must be a :class:`BeatRecord` row.  Old traces (no event lines)
+    parse to a :class:`Trace` with empty ``events``.
+    """
+    trace = Trace()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if '"event"' in line and "event" in json.loads(line):
+            trace.events.append(TraceEvent.from_jsonl(line))
+        else:
+            trace.records.append(BeatRecord.from_jsonl(line))
+    return trace
+
+
+class FlightRecorder:
+    """Collects typed events from a simulation run or a live run.
+
+    As a simulation **monitor** (``sim.add_monitor(recorder)``) it emits
+    per-beat ``beat`` tallies read off the engine's existing
+    :class:`~repro.net.network.MessageStats`, plus ``coin`` and
+    ``churn`` events as they resolve.  It only ever *reads* accounting
+    the run already keeps — no RNG draws, no state writes — so attaching
+    one cannot perturb the trajectory (the no-perturbation invariant of
+    :mod:`repro.obs`).
+
+    For the live runtime there is no monitor seam; the runner calls
+    :meth:`observe_runtime` once, after the run, to convert the
+    :class:`~repro.runtime.runner.RuntimeResult` counters and the nodes'
+    per-beat stats into the same event stream.
+
+    Args:
+        clock: monotonic time source for beat durations; injectable so
+            tests can pin wall-clock fields deterministically.
+    """
+
+    def __init__(
+        self, *, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.clock = clock
+        self.events: list[TraceEvent] = []
+        self._last_time: "float | None" = None
+        self._last_delayed = 0
+        self._seen_coins: set[tuple] = set()
+
+    def emit(self, kind: str, beat: int, /, **data: Any) -> None:
+        """Append one event (the generic hook the observers build on).
+
+        ``kind`` and ``beat`` are positional-only so that data fields of
+        the same name (e.g. a churn event's ``kind``) stay expressible.
+        """
+        self.events.append(TraceEvent(kind=kind, beat=beat, data=data))
+
+    # -- simulation monitor ------------------------------------------------
+
+    def __call__(self, simulation: "Simulation", beat: int) -> None:
+        now = self.clock()
+        elapsed = 0.0 if self._last_time is None else now - self._last_time
+        self._last_time = now
+        stats = simulation.stats
+        delayed = stats.delayed_messages
+        if simulation.churn is not None:
+            for event in simulation.churn.events_at(beat):
+                self.emit(
+                    "churn", beat,
+                    kind=event.kind, nodes=sorted(event.node_ids),
+                )
+        for (path, coin_beat), outcome in sorted(
+            simulation.env.resolved_outcomes(beat).items()
+        ):
+            key = (path, coin_beat)
+            if key in self._seen_coins:
+                continue
+            self._seen_coins.add(key)
+            self.emit(
+                "coin", coin_beat,
+                path=path, outcome=outcome.event, agreed=outcome.agreed,
+            )
+        self.emit(
+            "beat", beat,
+            messages=stats.messages_at_beat(beat),
+            dropped=stats.dropped_per_beat.get(beat, 0),
+            delayed=delayed - self._last_delayed,
+            active=len(simulation.active_ids),
+            elapsed_us=int(elapsed * 1_000_000),
+        )
+        self._last_delayed = delayed
+
+    # -- runtime post-processing -------------------------------------------
+
+    def observe_runtime(self, result, runtime_nodes: Iterable = ()) -> None:
+        """Convert one live run's counters into the event stream.
+
+        ``runtime_nodes`` supplies per-beat ``(beat, elapsed_s, messages)``
+        stats when the nodes were run with a clock (see
+        :class:`~repro.runtime.node.RuntimeNode`); a beat's wall time is
+        the *slowest* node's — that is what the round barrier makes
+        everyone wait for.
+        """
+        per_beat: dict[int, tuple[float, int]] = {}
+        for node in runtime_nodes:
+            for beat, elapsed, messages in getattr(node, "beat_stats", ()):
+                slowest, total = per_beat.get(beat, (0.0, 0))
+                per_beat[beat] = (max(slowest, elapsed), total + messages)
+        for beat in sorted(per_beat):
+            slowest, total = per_beat[beat]
+            self.emit(
+                "beat", beat,
+                messages=total, elapsed_us=int(slowest * 1_000_000),
+            )
+        self.emit(
+            "barrier", result.beats_run,
+            late=result.late_messages,
+            premature=result.premature_messages,
+            malformed=result.malformed_frames,
+            timeouts=result.barrier_timeouts,
+        )
+        self.emit(
+            "run", result.beats_run,
+            beats=result.beats_run,
+            messages=result.messages_sent,
+            frames=result.frames_sent,
+            converged_beat=result.converged_beat,
+            elapsed_us=int(result.elapsed_s * 1_000_000),
+        )

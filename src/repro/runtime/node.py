@@ -33,6 +33,13 @@ class RuntimeNode:
     the sorted inboxes.  ``probe`` is snapshotted after every update phase
     into :attr:`trace` (beat, value) pairs — the runtime's equivalent of a
     :class:`~repro.net.trace.Tracer` monitor.
+
+    ``clock`` (usually ``time.perf_counter``, set by the runner when a
+    flight recorder is attached) turns on per-beat stats: each beat
+    appends ``(beat, elapsed_seconds, messages)`` to :attr:`beat_stats`.
+    Timing reads only the clock — never the RNG, never node state — so
+    the trajectory is identical with it on or off; ``None`` (the
+    default) skips even the clock reads.
     """
 
     def __init__(
@@ -42,12 +49,15 @@ class RuntimeNode:
         synchronizer: BeatSynchronizer,
         *,
         probe: "Callable[[Any], Any] | None" = None,
+        clock: "Callable[[], float] | None" = None,
     ) -> None:
         self.node = node
         self.endpoint = endpoint
         self.synchronizer = synchronizer
         self.probe = probe
+        self.clock = clock
         self.trace: list[tuple[int, Any]] = []
+        self.beat_stats: list[tuple[int, float, int]] = []
         self.messages_sent = 0
         self.frames_sent = 0
         self.beats_run = 0
@@ -58,9 +68,11 @@ class RuntimeNode:
         endpoint = self.endpoint
         codec = self.synchronizer.codec
         send_nowait = getattr(endpoint, "send_nowait", None)
+        clock = self.clock
         all_ids = range(node.n)
         for _ in range(beats):
             beat = self.synchronizer.beat
+            beat_started = clock() if clock is not None else 0.0
             envelopes = node.send_phase(beat)
             # Global emission seq first (the simulator's delivery sort
             # key), then group per link; every in-system link also carries
@@ -88,4 +100,8 @@ class RuntimeNode:
             node.update_phase(beat, inboxes)
             if self.probe is not None:
                 self.trace.append((beat, self.probe(node.root)))
+            if clock is not None:
+                self.beat_stats.append(
+                    (beat, clock() - beat_started, len(envelopes))
+                )
             self.beats_run += 1

@@ -148,6 +148,11 @@ class ClusterResult:
     barrier_timeouts: int = 0
     malformed_frames: int = 0
     elapsed_s: float = 0.0
+    frames_by_node: "dict[int, int] | None" = None
+    #: Merged per-worker metrics registries (a
+    #: :class:`~repro.obs.MetricsRegistry`); excluded from equality so
+    #: result comparison stays about the trajectory and its counters.
+    metrics: "Any | None" = field(default=None, repr=False, compare=False)
 
     @property
     def converged(self) -> bool:
@@ -161,9 +166,41 @@ class ClusterResult:
             for record in self.records
         )
 
-    def to_jsonl(self) -> str:
-        """The trajectory in the shared JSONL trace format."""
-        return records_to_jsonl(self.records)
+    @property
+    def health(self) -> dict[str, int]:
+        """The barrier drop counters as one name-keyed snapshot."""
+        return {
+            "late_messages": self.late_messages,
+            "premature_messages": self.premature_messages,
+            "malformed_frames": self.malformed_frames,
+            "barrier_timeouts": self.barrier_timeouts,
+        }
+
+    def to_jsonl(self, *, health: bool = False) -> str:
+        """The trajectory in the shared JSONL trace format.
+
+        ``health=True`` appends one flight-recorder ``health`` event
+        line (barrier counters plus per-node frame totals) — the same
+        shape :meth:`~repro.runtime.runner.RuntimeResult.to_jsonl`
+        emits; the default stays byte-identical to a single-process
+        run's trace.
+        """
+        text = records_to_jsonl(self.records)
+        if health:
+            from repro.obs.recorder import TraceEvent
+
+            frames = {
+                str(node_id): count
+                for node_id, count in sorted(
+                    (self.frames_by_node or {}).items()
+                )
+            }
+            event = TraceEvent(
+                "health", self.beats_run,
+                {**self.health, "frames_by_node": frames},
+            )
+            text += event.to_jsonl() + "\n"
+        return text
 
     @property
     def beats_per_sec(self) -> float:
@@ -335,6 +372,9 @@ async def _worker_async(
         "malformed_frames": sum(
             rn.synchronizer.malformed_frames for rn in runtime_nodes
         ) + transport.malformed_frames,
+        "frames_by_node": {
+            rn.node.node_id: rn.frames_sent for rn in runtime_nodes
+        },
     }
     if process is not None:
         payload["messages_sent"] += process.messages_sent
@@ -342,7 +382,46 @@ async def _worker_async(
         payload["late_messages"] += process.late_messages
         payload["premature_messages"] += process.premature_messages
         payload["barrier_timeouts"] += process.barrier_timeouts
+    payload["metrics"] = _worker_registry(payload).to_json()
     return payload
+
+
+def _worker_registry(payload: "dict[str, Any]"):
+    """One worker's counters re-homed onto a fresh metrics registry.
+
+    Per-node labels on frame counts keep worker sample sets disjoint, so
+    the parent's :meth:`~repro.obs.MetricsRegistry.merge_json` fold is
+    lossless.  Metric names match :func:`repro.obs.record_runtime`, so a
+    merged cluster registry reads like a single-process run's.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter(
+        "runtime_messages_sent_total", "protocol messages sent"
+    ).set_total(payload["messages_sent"])
+    frames = registry.counter(
+        "runtime_frames_sent_total", "wire units shipped, per node"
+    )
+    for node_id, count in sorted(payload["frames_by_node"].items()):
+        frames.set_total(count, node=str(node_id))
+    registry.counter(
+        "runtime_late_messages_total",
+        "frames that arrived after their barrier closed (dropped)",
+    ).set_total(payload["late_messages"])
+    registry.counter(
+        "runtime_premature_messages_total",
+        "frames tagged beyond the lookahead horizon (dropped)",
+    ).set_total(payload["premature_messages"])
+    registry.counter(
+        "runtime_malformed_frames_total",
+        "wire units that failed to decode (dropped whole)",
+    ).set_total(payload["malformed_frames"])
+    registry.counter(
+        "runtime_barrier_timeouts_total",
+        "round barriers closed by timeout instead of full markers",
+    ).set_total(payload["barrier_timeouts"])
+    return registry
 
 
 def _cluster_worker(
@@ -444,6 +523,20 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         tuple(record.values[i] for i in sorted(record.values))
         for record in records
     )
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    for payload in payloads:
+        metrics.merge_json(payload["metrics"])
+    metrics.counter(
+        "runtime_beats_total", "beats the run executed"
+    ).set_total(spec.beats)
+    metrics.gauge(
+        "runtime_elapsed_seconds", "wall-clock duration of the run"
+    ).set(elapsed)
+    frames_by_node: dict[int, int] = {}
+    for payload in payloads:
+        frames_by_node.update(payload["frames_by_node"])
     return ClusterResult(
         name=spec.name,
         n=spec.n,
@@ -461,6 +554,8 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         barrier_timeouts=sum(p["barrier_timeouts"] for p in payloads),
         malformed_frames=sum(p["malformed_frames"] for p in payloads),
         elapsed_s=elapsed,
+        frames_by_node=frames_by_node,
+        metrics=metrics,
     )
 
 

@@ -90,6 +90,7 @@ class RuntimeResult:
     codec: str = "json"
     frames_sent: int = 0
     malformed_frames: int = 0
+    frames_by_node: "dict[int, int] | None" = None
 
     @property
     def converged(self) -> bool:
@@ -100,11 +101,41 @@ class RuntimeResult:
         """Per-beat honest values, node-id-sorted — the monitors' shape."""
         return _history_rows(self.records)
 
-    def to_jsonl(self) -> str:
+    @property
+    def health(self) -> dict[str, int]:
+        """The barrier drop counters as one name-keyed snapshot."""
+        return {
+            "late_messages": self.late_messages,
+            "premature_messages": self.premature_messages,
+            "malformed_frames": self.malformed_frames,
+            "barrier_timeouts": self.barrier_timeouts,
+        }
+
+    def to_jsonl(self, *, health: bool = False) -> str:
         """The trajectory in the shared JSONL trace format (see
         :mod:`repro.net.trace`) — byte-identical to what a simulator-side
-        :class:`~repro.net.trace.Tracer` over the same run serializes."""
-        return records_to_jsonl(self.records)
+        :class:`~repro.net.trace.Tracer` over the same run serializes.
+
+        ``health=True`` appends one flight-recorder ``health`` event
+        line (barrier counters plus per-node frame totals); old readers
+        skip it, and the default stays byte-compatible.
+        """
+        text = records_to_jsonl(self.records)
+        if health:
+            from repro.obs.recorder import TraceEvent
+
+            frames = {
+                str(node_id): count
+                for node_id, count in sorted(
+                    (self.frames_by_node or {}).items()
+                )
+            }
+            event = TraceEvent(
+                "health", self.beats_run,
+                {**self.health, "frames_by_node": frames},
+            )
+            text += event.to_jsonl() + "\n"
+        return text
 
     @property
     def beats_per_sec(self) -> float:
@@ -126,6 +157,7 @@ async def _run_async(
     probe: Callable[[Component], Any],
     n: int,
     codec: Codec,
+    clock: "Callable[[], float] | None" = None,
 ) -> tuple[list[RuntimeNode], "ByzantineProcess | None"]:
     runtime_nodes: list[RuntimeNode] = []
     process: "ByzantineProcess | None" = None
@@ -137,7 +169,9 @@ async def _run_async(
                 endpoint, all_ids, beat_timeout=beat_timeout, codec=codec
             )
             runtime_nodes.append(
-                RuntimeNode(node, endpoint, synchronizer, probe=probe)
+                RuntimeNode(
+                    node, endpoint, synchronizer, probe=probe, clock=clock
+                )
             )
         if byzantine is not None:
             adversary, faulty_ids, env, rng = byzantine
@@ -179,6 +213,8 @@ def run_runtime(
     beat_timeout: "float | None" = 30.0,
     root_path: str = "root",
     probe: Callable[[Component], Any] = _default_probe,
+    metrics: "object | None" = None,
+    recorder: "object | None" = None,
 ) -> RuntimeResult:
     """Run the protocol live for ``beats`` beats; return the trajectory.
 
@@ -190,6 +226,14 @@ def run_runtime(
     wire format (see :mod:`repro.runtime.codec`) — a run-wide choice that
     never changes the trajectory, only the bytes: the differential suite
     pins ``binary`` runs trace-identical to ``json`` runs.
+
+    Telemetry: ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) gets
+    the run's counters re-homed onto ``runtime_*`` instruments after the
+    run; ``recorder`` (a :class:`~repro.obs.FlightRecorder`) turns on
+    per-beat timing stats on the nodes and receives the event stream via
+    :meth:`~repro.obs.FlightRecorder.observe_runtime`.  Neither touches
+    the trajectory — the differential suite pins instrumented runs
+    trace-identical to bare ones.
     """
     if beats < 1:
         raise ConfigurationError(f"need at least one beat, got {beats}")
@@ -233,11 +277,12 @@ def run_runtime(
 
     transport_obj = resolve_transport(transport)
     codec_obj = resolve_codec(codec)
+    clock = getattr(recorder, "clock", None)
     started = time.perf_counter()
     runtime_nodes, process = asyncio.run(
         _run_async(
             transport_obj, nodes, byzantine, beats, beat_timeout, probe, n,
-            codec_obj,
+            codec_obj, clock,
         )
     )
     elapsed = time.perf_counter() - started
@@ -274,7 +319,10 @@ def run_runtime(
         timeouts += process.barrier_timeouts
     if hasattr(transport_obj, "malformed_frames"):
         malformed += transport_obj.malformed_frames
-    return RuntimeResult(
+    frames_by_node = {
+        rn.node.node_id: rn.frames_sent for rn in runtime_nodes
+    }
+    result = RuntimeResult(
         seed=seed,
         transport=transport_obj.name,
         beats_run=beats,
@@ -288,4 +336,12 @@ def run_runtime(
         codec=codec_obj.name,
         frames_sent=frames,
         malformed_frames=malformed,
+        frames_by_node=frames_by_node,
     )
+    if metrics is not None:
+        from repro.obs.metrics import record_runtime
+
+        record_runtime(metrics, result)
+    if recorder is not None:
+        recorder.observe_runtime(result, runtime_nodes)
+    return result

@@ -97,6 +97,18 @@ class BeatSynchronizer:
         # whole burst of queued wire units.
         self._recv_nowait = getattr(endpoint, "recv_nowait", None)
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """The barrier's health counters, as one name-keyed snapshot —
+        what the CLI summary, :meth:`ClusterResult.to_jsonl` health line
+        and the metrics collectors read."""
+        return {
+            "late_messages": self.late_messages,
+            "premature_messages": self.premature_messages,
+            "malformed_frames": self.malformed_frames,
+            "barrier_timeouts": self.barrier_timeouts,
+        }
+
     # -- frame intake ------------------------------------------------------
 
     def note(self, sender: int, data: bytes) -> None:

@@ -7,7 +7,7 @@ import sys
 
 import pytest
 
-from repro.cli import ADVERSARIES, main
+from repro.cli import ADVERSARIES, PROTOCOL_REGISTRY, main
 
 
 class TestDemo:
@@ -493,6 +493,171 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert code == 0, out
         assert "-> ok" in out
+
+
+class TestTraceCommand:
+    """`repro trace` — the differential discipline as a shell command."""
+
+    def _write_pair(self, tmp_path, protocol, capsys, beats=10):
+        sim = tmp_path / f"{protocol}.sim.jsonl"
+        live = tmp_path / f"{protocol}.rt.jsonl"
+        code = main(
+            ["run", "--n", "4", "--f", "1", "--k", "6",
+             "--protocol", protocol, "--seed", "0",
+             "--beats", str(beats), "--no-early-stop",
+             "--trace", str(sim)]
+        )
+        assert code in (0, 1)
+        code = main(
+            ["runtime", "--n", "4", "--f", "1", "--k", "6",
+             "--protocol", protocol, "--seed", "0",
+             "--beats", str(beats), "--trace", str(live)]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        return sim, live
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_diff_simulator_vs_runtime_matches_per_protocol(
+        self, protocol, tmp_path, capsys
+    ):
+        sim, live = self._write_pair(tmp_path, protocol, capsys)
+        code = main(["trace", "diff", str(sim), str(live)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "traces match: 10 records" in out
+
+    def test_diff_reports_first_divergent_beat(self, tmp_path, capsys):
+        sim, live = self._write_pair(tmp_path, "clock-sync", capsys)
+        lines = sim.read_text(encoding="utf-8").splitlines()
+        import json as _json
+
+        record = _json.loads(lines[5])
+        node = sorted(record["values"])[0]
+        record["values"][node] = 99
+        lines[5] = _json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+        corrupted = tmp_path / "corrupted.jsonl"
+        corrupted.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        code = main(["trace", "diff", str(sim), str(corrupted)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "traces diverge at beat 5" in out
+        assert f"node {node}:" in out
+
+    def test_diff_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["trace", "diff", str(tmp_path / "a.jsonl"),
+             str(tmp_path / "b.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_summarizes_trace(self, tmp_path, capsys):
+        sim, _live = self._write_pair(tmp_path, "clock-sync", capsys, beats=20)
+        code = main(["trace", "inspect", str(sim), "--k", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace {sim}" in out
+        assert "beats" in out
+        assert "converged" in out
+
+    def test_inspect_series_prints_node_trajectory(self, tmp_path, capsys):
+        sim, _live = self._write_pair(tmp_path, "clock-sync", capsys)
+        code = main(
+            ["trace", "inspect", str(sim), "--k", "6", "--series", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "node 0 :" in out
+
+    def test_inspect_garbage_exits_2(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n", encoding="utf-8")
+        code = main(["trace", "inspect", str(garbage)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsExport:
+    def _metrics_file(self, tmp_path, capsys, fmt="json"):
+        path = tmp_path / ("metrics.json" if fmt == "json" else "metrics.prom")
+        code = main(
+            ["runtime", "--n", "4", "--f", "1", "--k", "6",
+             "--seed", "0", "--beats", "20",
+             "--metrics-out", str(path), "--metrics-format", fmt]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"wrote {fmt} metrics to {path}" in out
+        return path, out
+
+    def test_runtime_metrics_out_writes_valid_document(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs import validate_metrics_json
+
+        path, out = self._metrics_file(tmp_path, capsys)
+        document = _json.loads(path.read_text(encoding="utf-8"))
+        validate_metrics_json(document)
+        names = {metric["name"] for metric in document["metrics"]}
+        assert "runtime_messages_sent_total" in names
+        assert "runtime_frames_sent_total" in names
+        assert "runtime_beats_total" in names
+        # The summary now also surfaces barrier health and frame counts.
+        assert "health" in out
+        assert "frames" in out
+
+    def test_runtime_metrics_prometheus_format(self, tmp_path, capsys):
+        path, _out = self._metrics_file(tmp_path, capsys, fmt="prometheus")
+        text = path.read_text(encoding="utf-8")
+        assert "# TYPE runtime_messages_sent_total counter" in text
+
+    def test_trace_metrics_renders_prometheus(self, tmp_path, capsys):
+        path, _out = self._metrics_file(tmp_path, capsys)
+        code = main(["trace", "metrics", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE runtime_messages_sent_total counter" in out
+        assert "runtime_messages_sent_total " in out
+
+    def test_trace_metrics_json_round_trip(self, tmp_path, capsys):
+        import json as _json
+
+        path, _out = self._metrics_file(tmp_path, capsys)
+        code = main(["trace", "metrics", str(path), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert _json.loads(out) == _json.loads(
+            path.read_text(encoding="utf-8")
+        )
+
+    def test_trace_metrics_rejects_non_metrics_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "other/1"}\n', encoding="utf-8")
+        code = main(["trace", "metrics", str(bogus)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cluster_metrics_dir(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs import validate_metrics_json
+
+        code = main(
+            ["cluster", "run", "examples/cluster_smoke.py",
+             "--only", "smoke-n4", "--metrics-out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "health" in out
+        document = _json.loads(
+            (tmp_path / "smoke-n4.metrics.json").read_text(encoding="utf-8")
+        )
+        validate_metrics_json(document)
+        names = {metric["name"] for metric in document["metrics"]}
+        assert "runtime_frames_sent_total" in names
 
 
 class TestModuleEntryPoint:
