@@ -1,0 +1,31 @@
+"""Continuous-time pulse precision: differential pin and runtime skew.
+
+Thin pytest shim over the ``pulse_precision`` registration in the
+benchmark registry — the experiment's full definition (the zero-drift
+zero-delay digest pin against the reference engine, the deterministic
+drifting-clock metrics, the pulse-barrier runtime's wall-clock skew)
+lives in ``src/repro/bench/suites/pulse_precision.py``.  Running this
+file executes the benchmark at the full tier and regenerates its blocks
+under ``benchmarks/results/``.
+
+Registry equivalent::
+
+    PYTHONPATH=src python -m repro bench run --only pulse_precision
+"""
+
+from __future__ import annotations
+
+
+def test_pulse_precision(run_registered):
+    run_registered("pulse_precision")
+
+
+if __name__ == "__main__":  # standalone entry point, matching its siblings
+    import sys
+
+    from repro.cli import main
+
+    args = ["bench", "run", "--only", "pulse_precision"]
+    if "--smoke" in sys.argv[1:]:
+        args += ["--tier", "smoke"]
+    sys.exit(main(args))

@@ -161,6 +161,7 @@ def synchronize(
     link_params: dict | None = None,
     churn: object = None,
     trace: bool = False,
+    timing: "tuple[float, ...] | None" = None,
 ) -> TrialResult:
     """Run a registered protocol from a worst-case scrambled state.
 
@@ -183,6 +184,11 @@ def synchronize(
     is then measured from the last membership event.  ``trace=True``
     records the per-beat clock trajectory on ``result.records``, export
     it with ``result.to_jsonl()`` (the shared JSONL trace format).
+    ``timing=(rho, d_min, d_max, pulse_period)`` leaves the lock-step
+    beat model entirely: the trial runs on the event-driven
+    continuous-time engine (:mod:`repro.net.events`) with drifting
+    clocks and bounded message delays, and the result carries
+    ``pulse_skew`` / ``converged_time`` in the run's time units.
     """
     from repro.faults.dynamic import ChurnSchedule
 
@@ -204,5 +210,6 @@ def synchronize(
         link_params=normalize_link_params(link_params),
         churn=schedule.normalized() if schedule is not None else (),
         trace=trace,
+        timing=tuple(timing) if timing else (),
     )
     return run_trial(config, seed)

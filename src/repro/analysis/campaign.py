@@ -133,6 +133,10 @@ class ScenarioSpec:
         share_coin: Remark 4.1's shared coin pipeline (clock-sync only).
         coin_p0, coin_p1, coin_rounds: oracle-coin tuning; ``None`` keeps
             the :class:`~repro.coin.oracle.OracleCoin` defaults.
+        timing: continuous-time axis — empty runs the lock-step beat
+            model, ``(rho, d_min, d_max, pulse_period)`` the event-driven
+            bounded-delay engine (see
+            :class:`~repro.analysis.experiments.TrialConfig`).
         tag: free-form label echoed in reports.
     """
 
@@ -155,6 +159,7 @@ class ScenarioSpec:
     coin_p0: float | None = None
     coin_p1: float | None = None
     coin_rounds: int | None = None
+    timing: tuple[float, ...] = ()
     tag: str = ""
 
     def validate(self) -> None:
@@ -189,6 +194,34 @@ class ScenarioSpec:
                     "silently never fire"
                 )
             schedule.validate_for(self.n, frozenset())
+        if self.timing:
+            # Eager continuous-time validation: bounds checked with the
+            # engine's own rules, beat-model axes rejected up front.
+            from repro.net.events import DriftingClock, KeyedDelays
+
+            if len(self.timing) != 4:
+                raise ConfigurationError(
+                    "timing must be (rho, d_min, d_max, pulse_period), "
+                    f"got {self.timing!r}"
+                )
+            rho, d_min, d_max, pulse_period = self.timing
+            DriftingClock(0, 0, rho, pulse_period)
+            KeyedDelays(0, d_min, d_max)
+            beat_axes = sorted(
+                name
+                for name, used in (
+                    ("scramble_beats", bool(self.scramble_beats)),
+                    ("churn", bool(self.churn)),
+                    ("link", self.link != "perfect"),
+                    ("link_params", bool(self.link_params)),
+                )
+                if used
+            )
+            if beat_axes:
+                raise ConfigurationError(
+                    f"continuous-time scenarios do not support {beat_axes}: "
+                    "those are lock-step beat-model axes"
+                )
 
     @property
     def label(self) -> str:
@@ -212,6 +245,11 @@ class ScenarioSpec:
         if self.churn:
             schedule = ChurnSchedule.coerce(self.churn)
             parts.append(f"churn[{schedule.describe()}]")
+        if self.timing:
+            rho, d_min, d_max, pulse_period = self.timing
+            parts.append(
+                f"timing[rho={rho},d={d_min}-{d_max},period={pulse_period}]"
+            )
         if self.tag:
             parts.append(self.tag)
         return " ".join(parts)
@@ -262,6 +300,7 @@ class ScenarioSpec:
             link=spec.link,
             link_params=spec.link_params,
             churn=spec.churn,
+            timing=spec.timing,
         )
 
 
@@ -283,9 +322,10 @@ def scenario_grid(
     links: Iterable["str | tuple[str, object]"] = ("perfect",),
     protocols: Iterable[str] | None = None,
     fs: Sequence[int] | None = None,
+    timings: Iterable[tuple[float, ...]] = ((),),
     **common: object,
 ) -> list[ScenarioSpec]:
-    """Expand an n × k × adversary × link × protocol grid into specs.
+    """Expand an n × k × adversary × link × protocol × timing grid.
 
     ``fs`` pins one fault parameter per entry of ``ns`` (same length);
     omitted, it defaults to the resilience-optimal ``⌊(n-1)/3⌋``.  Each
@@ -296,13 +336,18 @@ def scenario_grid(
     ``protocols`` is the protocol grid axis (names from
     :data:`PROTOCOL_REGISTRY`); omitted, a single ``protocol=...``
     keyword (default ``"clock-sync"``) pins the whole grid to one
-    family, the pre-seam behavior.  Extra keyword arguments are
-    forwarded to every :class:`ScenarioSpec`.
+    family, the pre-seam behavior.  ``timings`` is the continuous-time
+    axis: each entry is ``()`` (the lock-step beat model, the default)
+    or ``(rho, d_min, d_max, pulse_period)`` for the event-driven
+    engine — e.g. ``timings=[(), (0.001, 0.0, 0.1, 1.0)]`` crosses every
+    scenario with one drifting bounded-delay world.  Extra keyword
+    arguments are forwarded to every :class:`ScenarioSpec`.
     """
     ns = list(ns)
     ks = list(ks)  # materialize: one-shot iterables must survive the loop
     adversaries = list(adversaries)
     link_axis = [_normalize_link_axis(entry) for entry in links]
+    timing_axis = [tuple(entry) for entry in timings]
     if protocols is None:
         protocols = [common.pop("protocol", DEFAULT_PROTOCOL)]
     elif "protocol" in common:
@@ -323,18 +368,20 @@ def scenario_grid(
             for adversary in adversaries:
                 for link, link_params in link_axis:
                     for protocol in protocols:
-                        specs.append(
-                            ScenarioSpec(
-                                n=n,
-                                f=f,
-                                k=k,
-                                protocol=protocol,
-                                adversary=adversary,
-                                link=link,
-                                link_params=link_params,
-                                **common,
+                        for timing in timing_axis:
+                            specs.append(
+                                ScenarioSpec(
+                                    n=n,
+                                    f=f,
+                                    k=k,
+                                    protocol=protocol,
+                                    adversary=adversary,
+                                    link=link,
+                                    link_params=link_params,
+                                    timing=timing,
+                                    **common,
+                                )
                             )
-                        )
     return specs
 
 

@@ -69,6 +69,16 @@ class TrialConfig:
             trial's trajectory exportable in the shared JSONL format
             (``repro run --trace``); off by default — tracing costs one
             probe sweep per beat and most sweeps never read it.
+        timing: continuous-time axis — empty (the default) runs the
+            lock-step beat model; ``(rho, d_min, d_max, pulse_period)``
+            runs the event-driven bounded-delay engine
+            (:class:`~repro.net.events.ContinuousSimulation`) with
+            drifting clocks and keyed message delays instead.
+            Continuous trials always burn the full ``max_beats`` horizon
+            (the event schedule is fixed up front) and are incompatible
+            with ``scramble_beats``, ``churn``, a non-perfect ``link``
+            and a non-default ``engine`` — those axes are beat-model
+            machinery.
     """
 
     n: int
@@ -86,6 +96,7 @@ class TrialConfig:
     link_params: tuple[tuple[str, object], ...] = ()
     churn: tuple[tuple[int, str, tuple[int, ...]], ...] = ()
     trace: bool = False
+    timing: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -107,6 +118,11 @@ class TrialResult:
     #: Per-beat probe records when the config asked for a trace
     #: (``TrialConfig.trace``); empty otherwise.
     records: tuple = field(default=(), repr=False)
+    #: Continuous-time trials only: max pairwise pulse skew over the
+    #: horizon and the real time of the convergence beat's last close,
+    #: both in the run's time units; ``None`` on lock-step trials.
+    pulse_skew: float | None = None
+    converged_time: float | None = None
 
     @property
     def converged(self) -> bool:
@@ -149,7 +165,14 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
     beat — after that, extra beats cannot change the reported convergence.
     Pass ``early_stop=False`` to always burn the full budget (e.g. to
     measure steady-state traffic over a fixed horizon).
+
+    A config with a ``timing`` axis dispatches to the continuous-time
+    event engine instead (see :class:`TrialConfig`); such trials always
+    run the full horizon, and late deliveries are reported through
+    ``dropped_messages``.
     """
+    if config.timing:
+        return _run_continuous_trial(config, seed)
     simulation = Simulation(
         config.n,
         config.f,
@@ -207,6 +230,56 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
         dropped_messages=simulation.stats.dropped_messages,
         delayed_messages=simulation.stats.delayed_messages,
         records=tuple(tracer.records) if tracer is not None else (),
+    )
+
+
+def _run_continuous_trial(config: TrialConfig, seed: int) -> TrialResult:
+    """One trial on the event-driven continuous-time engine."""
+    from repro.net.events import run_continuous
+
+    if len(config.timing) != 4:
+        raise ConfigurationError(
+            "timing must be (rho, d_min, d_max, pulse_period), got "
+            f"{config.timing!r}"
+        )
+    incompatible = {
+        "scramble_beats": bool(config.scramble_beats),
+        "churn": bool(config.churn),
+        "link": config.link != "perfect",
+        "link_params": bool(config.link_params),
+    }
+    bad = sorted(name for name, used in incompatible.items() if used)
+    if bad:
+        raise ConfigurationError(
+            f"the continuous-time engine does not support {bad}: those "
+            "are lock-step beat-model axes (delays and drops come from "
+            "the timing bounds here)"
+        )
+    rho, d_min, d_max, pulse_period = config.timing
+    result = run_continuous(
+        config.n,
+        config.f,
+        config.protocol_factory,
+        adversary=config.adversary_factory(),
+        seed=seed,
+        beats=config.max_beats,
+        rho=rho,
+        delay_bounds=(d_min, d_max),
+        pulse_period=pulse_period,
+        k=config.k,
+        scramble=config.scramble,
+    )
+    return TrialResult(
+        seed=seed,
+        converged_beat=result.converged_beat,
+        beats_run=result.beats_run,
+        total_messages=result.total_messages,
+        history=result.history,
+        dropped_messages=result.late_messages,
+        delayed_messages=0,
+        records=result.records if config.trace else (),
+        pulse_skew=result.max_pulse_skew,
+        converged_time=result.converged_time,
     )
 
 

@@ -2,10 +2,10 @@
 
 Importing this package populates :data:`repro.bench.registry.REGISTRY`:
 the twelve benchmarks ported from the legacy ``benchmarks/bench_*.py``
-scripts, the live-runtime throughput benchmark, and the cross-protocol
-comparison over the Protocol seam (every registration has a thin pytest
-shim under ``benchmarks/``).  Module name == registry name == shim file
-suffix.
+scripts, the live-runtime throughput benchmark, the cross-protocol
+comparison over the Protocol seam, and the continuous-time pulse
+precision suite (every registration has a thin pytest shim under
+``benchmarks/``).  Module name == registry name == shim file suffix.
 """
 
 from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
@@ -20,6 +20,7 @@ from repro.bench.suites import (  # noqa: F401  (imports register benchmarks)
     link_conditions,
     messages,
     protocol_comparison,
+    pulse_precision,
     runtime_throughput,
     stabilization,
     stabilization_under_churn,

@@ -208,6 +208,23 @@ def _build_parser() -> argparse.ArgumentParser:
                  "exactly --beats records, diffable against a runtime "
                  "trace of the same seed)",
         )
+        demo.add_argument(
+            "--drift", type=float, default=None, metavar="RHO",
+            help="continuous-time mode: clock drift bound, rates drawn in "
+                 "[1-RHO, 1+RHO] (event-driven engine; incompatible with "
+                 "--link/--churn)",
+        )
+        demo.add_argument(
+            "--delay-bounds", nargs=2, type=float, default=None,
+            metavar=("DMIN", "DMAX"),
+            help="continuous-time mode: message delay bounds in time "
+                 "units (keyed per-message draws in [DMIN, DMAX])",
+        )
+        demo.add_argument(
+            "--pulse-period", type=float, default=None, metavar="SPAN",
+            help="continuous-time mode: local-clock span between pulses "
+                 "(one beat per pulse; default 1.0)",
+        )
         _add_link_arguments(demo, grid=False)
         _add_dynamic_arguments(demo, grid=False)
 
@@ -263,6 +280,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--beat-timeout", type=float, default=30.0, metavar="SECONDS",
         help="round-barrier timeout per beat (late peers are not waited "
              "for beyond this)",
+    )
+    runtime.add_argument(
+        "--sync", default="beat", choices=["beat", "pulse"],
+        help="round barrier mode: fixed --beat-timeout barriers, or the "
+             "continuous-time pulse barrier driven by per-node drifting "
+             "clocks (--beat-timeout is then ignored)",
+    )
+    runtime.add_argument(
+        "--pulse-period", type=float, default=0.2, metavar="SECONDS",
+        help="pulse mode: local-clock seconds between pulses — each "
+             "barrier's hard deadline (healthy runs close early on "
+             "markers)",
+    )
+    runtime.add_argument(
+        "--drift", type=float, default=0.0, metavar="RHO",
+        help="pulse mode: clock drift bound, per-node rates drawn in "
+             "[1-RHO, 1+RHO] from the run's timing seed",
     )
     runtime.add_argument(
         "--trace", dest="trace_path", default=None, metavar="FILE",
@@ -321,6 +355,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed-base", type=int, default=0, help="first seed of the range"
     )
     campaign.add_argument("--beats", type=int, default=500)
+    campaign.add_argument(
+        "--timing", nargs="+", default=None, metavar="RHO:DMIN:DMAX:PERIOD",
+        help="continuous-time grid axis: run the event-driven engine with "
+             "clock drift RHO, message delays in [DMIN, DMAX] and pulse "
+             "period PERIOD (repeatable; replaces the lock-step entry)",
+    )
     campaign.add_argument(
         "--scramble-beats", type=int, nargs="*", default=[],
         help="mid-run fault schedule: re-scramble all correct nodes "
@@ -431,6 +471,19 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     link_params = dict(args.link_param)
     link = "mobility" if args.mobility else args.link
     adversary_name = "adaptive" if args.adaptive else args.adversary
+    timing = None
+    if (
+        args.drift is not None
+        or args.delay_bounds is not None
+        or args.pulse_period is not None
+    ):
+        d_min, d_max = args.delay_bounds or (0.0, 0.0)
+        timing = (
+            args.drift if args.drift is not None else 0.0,
+            d_min,
+            d_max,
+            args.pulse_period if args.pulse_period is not None else 1.0,
+        )
     try:
         churn = (
             parse_churn_events(args.churn).normalized() if args.churn else None
@@ -450,6 +503,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             link_params=link_params,
             churn=churn,
             trace=args.trace_path is not None,
+            timing=timing,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -459,10 +513,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f" coin={args.coin}" if resolve_protocol(args.protocol).uses_coin else ""
     )
     churn_note = f" churn={','.join(args.churn)}" if args.churn else ""
+    timing_note = ""
+    if timing is not None:
+        timing_note = (
+            f" timing[rho={timing[0]},d={timing[1]}-{timing[2]},"
+            f"period={timing[3]}]"
+        )
     print(
         f"{args.protocol} n={args.n} f={args.f} k={args.k}"
         f"{coin_note} adversary={adversary_name} seed={args.seed}"
-        f"{link_note}{churn_note}"
+        f"{link_note}{churn_note}{timing_note}"
     )
     for beat, values in enumerate(result.history[: args.show]):
         cells = " ".join(
@@ -480,6 +540,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         casualties = (
             f", {result.dropped_messages} dropped / "
             f"{result.delayed_messages} delayed by the link model"
+        )
+    if result.pulse_skew is not None:
+        t_note = (
+            f", converged at t={result.converged_time:.3f}"
+            if result.converged_time is not None
+            else ""
+        )
+        print(
+            f"continuous time: max pulse skew {result.pulse_skew:.4f} "
+            f"time units{t_note}"
         )
     if result.converged_beat is None:
         print(f"did not converge within {args.beats} beats{casualties}")
@@ -509,16 +579,22 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             codec=args.codec,
             k=args.k,
             beat_timeout=args.beat_timeout,
+            sync=args.sync,
+            pulse_period=args.pulse_period,
+            rho=args.drift,
             metrics=registry,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     coin_note = f" coin={args.coin}" if protocol.uses_coin else ""
+    sync_note = ""
+    if result.sync == "pulse":
+        sync_note = f" sync=pulse period={args.pulse_period} rho={args.drift}"
     print(
         f"live {args.protocol} n={args.n} f={args.f} k={args.k}"
         f"{coin_note} adversary={args.adversary} seed={args.seed} "
-        f"transport={result.transport} codec={result.codec}"
+        f"transport={result.transport} codec={result.codec}{sync_note}"
     )
     for record in result.records[: args.show]:
         cells = " ".join(
@@ -535,6 +611,21 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     )
     print(f"  health    | {health}")
     print(f"  frames    | {result.frames_sent} total ({frames})")
+    if result.sync == "pulse":
+        skew = (
+            f"{result.pulse_skew_s * 1000:.2f}ms"
+            if result.pulse_skew_s is not None
+            else "n/a"
+        )
+        t_conv = (
+            f" converged_t={result.converged_time_s:.3f}s"
+            if result.converged_time_s is not None
+            else ""
+        )
+        print(
+            f"  pulse     | max skew {skew}, "
+            f"{result.pulse_timeouts} pulse timeouts{t_conv}"
+        )
     if args.trace_path:
         with open(args.trace_path, "w", encoding="utf-8") as handle:
             handle.write(result.to_jsonl())
@@ -611,6 +702,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"{name}={count}" for name, count in result.health.items()
         )
         print(f"  health   | {health}")
+        if result.sync == "pulse":
+            skew = (
+                f"{result.pulse_skew_s * 1000:.2f}ms"
+                if result.pulse_skew_s is not None
+                else "n/a"
+            )
+            print(
+                f"  pulse    | max within-worker skew {skew}, "
+                f"{result.pulse_timeouts} pulse timeouts"
+            )
         if args.trace_dir:
             os.makedirs(args.trace_dir, exist_ok=True)
             trace_path = os.path.join(args.trace_dir, f"{spec.name}.jsonl")
@@ -731,6 +832,22 @@ def _link_axis(
     return axis
 
 
+def _parse_timing(value: str) -> "tuple[float, float, float, float]":
+    """Parse one ``--timing`` value of the form ``RHO:DMIN:DMAX:PERIOD``."""
+    parts = value.split(":")
+    if len(parts) != 4:
+        raise ConfigurationError(
+            f"--timing {value!r} is not of the form RHO:DMIN:DMAX:PERIOD"
+        )
+    try:
+        rho, d_min, d_max, period = (float(part) for part in parts)
+    except ValueError:
+        raise ConfigurationError(
+            f"--timing {value!r} has a non-numeric field"
+        ) from None
+    return (rho, d_min, d_max, period)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         link_names = list(args.link)
@@ -743,6 +860,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             parse_churn_events(args.churn).normalized() if args.churn else ()
         )
         links = _link_axis(link_names, dict(args.link_param))
+        timings = (
+            tuple(_parse_timing(value) for value in args.timing)
+            if args.timing
+            else ((),)
+        )
         specs = scenario_grid(
             args.n,
             ks=args.k,
@@ -757,6 +879,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             closure_window=args.closure_window,
             engine=args.engine,
             churn=churn,
+            timings=timings,
         )
         for spec in specs:
             spec.validate()

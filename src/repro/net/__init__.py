@@ -9,6 +9,15 @@ from repro.net.engine import (
     ReferenceEngine,
     resolve_engine,
 )
+from repro.net.events import (
+    ContinuousResult,
+    ContinuousSimulation,
+    DriftingClock,
+    EventHeap,
+    KeyedDelays,
+    PulseSynchronizer,
+    run_continuous,
+)
 from repro.net.environment import (
     EVENT_DIVERGENT,
     EVENT_E0,
@@ -47,7 +56,14 @@ __all__ = [
     "BoundedDelayLinks",
     "CoinOutcome",
     "Component",
+    "ContinuousResult",
+    "ContinuousSimulation",
     "DEFAULT_LINK",
+    "DriftingClock",
+    "EventHeap",
+    "KeyedDelays",
+    "PulseSynchronizer",
+    "run_continuous",
     "ENGINES",
     "Engine",
     "Environment",

@@ -561,3 +561,22 @@ def record_runtime(registry: MetricsRegistry, result) -> None:
     registry.gauge(
         "runtime_elapsed_seconds", "wall-clock duration of the run"
     ).set(result.elapsed_s)
+    # Pulse-mode precision surface (sync="pulse" runs only): guarded with
+    # getattr so cluster results and older result shapes record cleanly.
+    if getattr(result, "sync", "beat") == "pulse":
+        registry.counter(
+            "runtime_pulse_timeouts_total",
+            "pulse barriers closed by the pulse deadline",
+        ).set_total(getattr(result, "pulse_timeouts", 0))
+        skew = getattr(result, "pulse_skew_s", None)
+        if skew is not None:
+            registry.gauge(
+                "runtime_pulse_skew_seconds",
+                "max pairwise pulse barrier close spread",
+            ).set(skew)
+        converged_time = getattr(result, "converged_time_s", None)
+        if converged_time is not None:
+            registry.gauge(
+                "runtime_converged_seconds",
+                "real time from run anchor to convergence-beat close",
+            ).set(converged_time)

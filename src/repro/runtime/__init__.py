@@ -58,7 +58,7 @@ from repro.runtime.orchestrator import (
     run_cluster,
 )
 from repro.runtime.runner import RuntimeResult, run_runtime
-from repro.runtime.sync import BeatSynchronizer
+from repro.runtime.sync import BeatSynchronizer, PulseBarrier
 from repro.runtime.transport import (
     DEFAULT_TRANSPORT,
     TRANSPORTS,
@@ -95,6 +95,7 @@ __all__ = [
     "JsonCodec",
     "LocalTransport",
     "MSG",
+    "PulseBarrier",
     "RuntimeNode",
     "RuntimeResult",
     "TRANSPORTS",

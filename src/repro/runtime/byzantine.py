@@ -57,6 +57,12 @@ class ByzantineProcess:
         codec: the run's wire codec — the faulty peers speak whatever the
             run speaks (a Byzantine node may *garble* frames, but that is
             modeled as malformed traffic, not a codec of its own).
+        synchronizer_factory: optional ``(endpoint, expected, node_id) ->
+            BeatSynchronizer`` override for the per-endpoint barriers —
+            how pulse-mode runs give the faulty endpoints
+            :class:`~repro.runtime.sync.PulseBarrier` deadlines, so a
+            stalled *honest* peer cannot hang the adversary either.
+            When set, ``beat_timeout`` is ignored.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class ByzantineProcess:
         rng: "random.Random",
         beat_timeout: "float | None" = None,
         codec: "str | Codec" = DEFAULT_CODEC,
+        synchronizer_factory=None,
     ) -> None:
         self.adversary = adversary
         self.endpoints = dict(sorted(endpoints.items()))
@@ -86,11 +93,14 @@ class ByzantineProcess:
         # One barrier per faulty endpoint, each closed by the honest
         # markers alone: the faulty ids' own markers are this process's
         # output, and other faulty traffic is never part of the legal view.
+        if synchronizer_factory is None:
+            def synchronizer_factory(endpoint, expected, _node_id):
+                return BeatSynchronizer(
+                    endpoint, expected, beat_timeout=beat_timeout,
+                    codec=self.codec,
+                )
         self._synchronizers = {
-            node_id: BeatSynchronizer(
-                endpoint, self.honest_ids, beat_timeout=beat_timeout,
-                codec=self.codec,
-            )
+            node_id: synchronizer_factory(endpoint, self.honest_ids, node_id)
             for node_id, endpoint in self.endpoints.items()
         }
 
@@ -105,6 +115,14 @@ class ByzantineProcess:
     @property
     def barrier_timeouts(self) -> int:
         return sum(s.barrier_timeouts for s in self._synchronizers.values())
+
+    @property
+    def pulse_timeouts(self) -> int:
+        """Pulse-deadline closes, when the barriers are pulse barriers."""
+        return sum(
+            getattr(s, "pulse_timeouts", 0)
+            for s in self._synchronizers.values()
+        )
 
     async def run(self, beats: int) -> None:
         """Participate in ``beats`` consecutive beats."""

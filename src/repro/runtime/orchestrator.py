@@ -94,6 +94,11 @@ class ClusterSpec:
     beat_timeout: "float | None" = 30.0
     host: str = "127.0.0.1"
     scramble: bool = True
+    #: Barrier mode: ``"beat"`` (fixed timeout) or ``"pulse"`` (drifting
+    #: clock pulse schedule; ``beat_timeout`` is then ignored).
+    sync: str = "beat"
+    pulse_period: float = 0.2
+    rho: float = 0.0
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on an inconsistent spec."""
@@ -125,6 +130,21 @@ class ClusterSpec:
                 f"unknown coin {self.coin!r}; try oracle, gvss or local"
             )
         resolve_codec(self.codec)  # unknown codec -> ConfigurationError
+        if self.sync not in ("beat", "pulse"):
+            raise ConfigurationError(
+                f"unknown sync mode {self.sync!r}: expected 'beat' or "
+                "'pulse'"
+            )
+        if self.sync == "beat" and self.rho:
+            raise ConfigurationError(
+                "clock drift (rho) only applies to the pulse barrier; "
+                "set sync='pulse'"
+            )
+        if self.sync == "pulse":
+            from repro.net.events import DriftingClock
+
+            # Validates rho and pulse_period with the engine's own rules.
+            DriftingClock(0, 0, self.rho, self.pulse_period)
 
 
 @dataclass(frozen=True)
@@ -149,6 +169,13 @@ class ClusterResult:
     malformed_frames: int = 0
     elapsed_s: float = 0.0
     frames_by_node: "dict[int, int] | None" = None
+    sync: str = "beat"
+    pulse_timeouts: int = 0
+    #: Pulse mode only: max pairwise barrier-close spread observed within
+    #: any single worker, in real seconds.  Clocks are not comparable
+    #: *across* worker processes, so this is a per-worker measurement
+    #: merged by max — a lower bound on the cluster-wide skew.
+    pulse_skew_s: "float | None" = None
     #: Merged per-worker metrics registries (a
     #: :class:`~repro.obs.MetricsRegistry`); excluded from equality so
     #: result comparison stays about the trajectory and its counters.
@@ -311,14 +338,41 @@ async def _worker_async(
     transport = TcpTransport(host=spec.host)
     runtime_nodes: "list[RuntimeNode]" = []
     process: "ByzantineProcess | None" = None
+    synchronizer_factory = None
+    if spec.sync == "pulse":
+        # Per-worker anchor: workers start at different wall instants, so
+        # deadlines are anchored locally and skew is a within-worker
+        # measurement (see ClusterResult.pulse_skew_s).
+        from repro.net.events import DriftingClock
+        from repro.runtime.sync import PulseBarrier
+
+        timing_seed = seeds.seed_for("timing")
+        anchor = asyncio.get_running_loop().time()
+
+        def synchronizer_factory(endpoint, expected, node_id):
+            return PulseBarrier(
+                endpoint,
+                expected,
+                clock=DriftingClock(
+                    timing_seed, node_id, spec.rho, spec.pulse_period
+                ),
+                anchor=anchor,
+                codec=codec,
+            )
     try:
         all_ids = frozenset(range(n))
         my_honest = [i for i in owned_ids if i not in faulty_ids]
         for node_id in my_honest:
             endpoint = await transport.open(node_id)
-            synchronizer = BeatSynchronizer(
-                endpoint, all_ids, beat_timeout=spec.beat_timeout, codec=codec
-            )
+            if synchronizer_factory is not None:
+                synchronizer = synchronizer_factory(
+                    endpoint, all_ids, node_id
+                )
+            else:
+                synchronizer = BeatSynchronizer(
+                    endpoint, all_ids, beat_timeout=spec.beat_timeout,
+                    codec=codec,
+                )
             runtime_nodes.append(
                 RuntimeNode(
                     nodes[node_id], endpoint, synchronizer,
@@ -333,6 +387,7 @@ async def _worker_async(
             process = ByzantineProcess(
                 adversary, endpoints, n=n, f=f, env=env, rng=adversary_rng,
                 beat_timeout=spec.beat_timeout, codec=codec,
+                synchronizer_factory=synchronizer_factory,
             )
 
         # Phase 1: report the ephemeral addresses this worker bound.
@@ -382,6 +437,20 @@ async def _worker_async(
         payload["late_messages"] += process.late_messages
         payload["premature_messages"] += process.premature_messages
         payload["barrier_timeouts"] += process.barrier_timeouts
+    payload["sync"] = spec.sync
+    if spec.sync == "pulse":
+        payload["pulse_timeouts"] = sum(
+            rn.synchronizer.pulse_timeouts for rn in runtime_nodes
+        ) + (process.pulse_timeouts if process is not None else 0)
+        closes = [rn.synchronizer.pulse_closes for rn in runtime_nodes]
+        payload["pulse_skew_s"] = (
+            max(
+                max(c[beat] for c in closes) - min(c[beat] for c in closes)
+                for beat in range(spec.beats)
+            )
+            if len(closes) >= 2 and all(len(c) >= spec.beats for c in closes)
+            else None
+        )
     payload["metrics"] = _worker_registry(payload).to_json()
     return payload
 
@@ -421,6 +490,11 @@ def _worker_registry(payload: "dict[str, Any]"):
         "runtime_barrier_timeouts_total",
         "round barriers closed by timeout instead of full markers",
     ).set_total(payload["barrier_timeouts"])
+    if payload.get("sync") == "pulse":
+        registry.counter(
+            "runtime_pulse_timeouts_total",
+            "pulse barriers closed by the pulse deadline",
+        ).set_total(payload.get("pulse_timeouts", 0))
     return registry
 
 
@@ -537,6 +611,18 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
     frames_by_node: dict[int, int] = {}
     for payload in payloads:
         frames_by_node.update(payload["frames_by_node"])
+    pulse_timeouts = sum(p.get("pulse_timeouts", 0) for p in payloads)
+    worker_skews = [
+        p["pulse_skew_s"]
+        for p in payloads
+        if p.get("pulse_skew_s") is not None
+    ]
+    pulse_skew = max(worker_skews) if worker_skews else None
+    if spec.sync == "pulse" and pulse_skew is not None:
+        metrics.gauge(
+            "runtime_pulse_skew_seconds",
+            "max within-worker pulse barrier close spread",
+        ).set(pulse_skew)
     return ClusterResult(
         name=spec.name,
         n=spec.n,
@@ -555,6 +641,9 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         malformed_frames=sum(p["malformed_frames"] for p in payloads),
         elapsed_s=elapsed,
         frames_by_node=frames_by_node,
+        sync=spec.sync,
+        pulse_timeouts=pulse_timeouts,
+        pulse_skew_s=pulse_skew,
         metrics=metrics,
     )
 

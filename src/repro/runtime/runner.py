@@ -39,7 +39,7 @@ from repro.net.trace import BeatRecord, records_to_jsonl
 from repro.runtime.byzantine import ByzantineProcess
 from repro.runtime.codec import Codec, DEFAULT_CODEC, resolve_codec
 from repro.runtime.node import RuntimeNode
-from repro.runtime.sync import BeatSynchronizer
+from repro.runtime.sync import BeatSynchronizer, PulseBarrier
 from repro.runtime.transport import (
     DEFAULT_TRANSPORT,
     Transport,
@@ -91,6 +91,16 @@ class RuntimeResult:
     frames_sent: int = 0
     malformed_frames: int = 0
     frames_by_node: "dict[int, int] | None" = None
+    #: Barrier mode: ``"beat"`` (fixed timeout) or ``"pulse"`` (drifting
+    #: clock pulse schedule — see :class:`~repro.runtime.sync.PulseBarrier`).
+    sync: str = "beat"
+    pulse_timeouts: int = 0
+    #: Pulse mode only: max pairwise spread of barrier-close instants over
+    #: any beat, in real seconds (the run's measured precision).
+    pulse_skew_s: "float | None" = None
+    #: Pulse mode only: real seconds from the run anchor to the last
+    #: honest close of the convergence beat (``None`` if not converged).
+    converged_time_s: "float | None" = None
 
     @property
     def converged(self) -> bool:
@@ -158,16 +168,42 @@ async def _run_async(
     n: int,
     codec: Codec,
     clock: "Callable[[], float] | None" = None,
+    timing: "tuple | None" = None,
+    stall_ids: frozenset = frozenset(),
 ) -> tuple[list[RuntimeNode], "ByzantineProcess | None"]:
     runtime_nodes: list[RuntimeNode] = []
     process: "ByzantineProcess | None" = None
+    synchronizer_factory = None
+    if timing is not None:
+        # Pulse mode: one shared anchor so every barrier's deadlines (and
+        # close offsets, hence the skew metric) live on one time axis.
+        from repro.net.events import DriftingClock
+
+        timing_seed, rho, pulse_period = timing
+        anchor = asyncio.get_running_loop().time()
+
+        def synchronizer_factory(endpoint, expected, node_id):
+            return PulseBarrier(
+                endpoint,
+                expected,
+                clock=DriftingClock(timing_seed, node_id, rho, pulse_period),
+                anchor=anchor,
+                codec=codec,
+            )
     try:
         all_ids = frozenset(range(n))
         for node_id, node in nodes.items():
+            if node_id in stall_ids:
+                continue  # stalled: never opens, never marks a beat
             endpoint = await transport.open(node_id)
-            synchronizer = BeatSynchronizer(
-                endpoint, all_ids, beat_timeout=beat_timeout, codec=codec
-            )
+            if synchronizer_factory is not None:
+                synchronizer = synchronizer_factory(
+                    endpoint, all_ids, node_id
+                )
+            else:
+                synchronizer = BeatSynchronizer(
+                    endpoint, all_ids, beat_timeout=beat_timeout, codec=codec
+                )
             runtime_nodes.append(
                 RuntimeNode(
                     node, endpoint, synchronizer, probe=probe, clock=clock
@@ -188,6 +224,7 @@ async def _run_async(
                 rng=rng,
                 beat_timeout=beat_timeout,
                 codec=codec,
+                synchronizer_factory=synchronizer_factory,
             )
         tasks = [node.run(beats) for node in runtime_nodes]
         if process is not None:
@@ -211,6 +248,10 @@ def run_runtime(
     k: "int | None" = None,
     scramble: bool = True,
     beat_timeout: "float | None" = 30.0,
+    sync: str = "beat",
+    pulse_period: float = 0.2,
+    rho: float = 0.0,
+    stall_ids: "tuple[int, ...]" = (),
     root_path: str = "root",
     probe: Callable[[Component], Any] = _default_probe,
     metrics: "object | None" = None,
@@ -227,6 +268,23 @@ def run_runtime(
     never changes the trajectory, only the bytes: the differential suite
     pins ``binary`` runs trace-identical to ``json`` runs.
 
+    ``sync="pulse"`` swaps the fixed ``beat_timeout`` barrier for the
+    continuous-time :class:`~repro.runtime.sync.PulseBarrier`: every node
+    gets a :class:`~repro.net.events.DriftingClock` (rate keyed in
+    ``[1 - rho, 1 + rho]`` from the run's shared ``"timing"`` seed, pulse
+    every ``pulse_period`` local seconds), barriers close early on full
+    marker sets but never wait past the next pulse, and the result gains
+    the precision metrics ``pulse_skew_s`` / ``converged_time_s`` /
+    ``pulse_timeouts``.  ``beat_timeout`` is ignored in pulse mode — the
+    pulse schedule *is* the timeout.
+
+    ``stall_ids`` injects crash faults on *honest* nodes: those node
+    processes never start (no endpoint, no markers), so every live
+    peer's barrier must absorb the silence — fixed timeouts in beat
+    mode, pulse-deadline closes in pulse mode — and the run must still
+    terminate after ``beats`` beats.  The stalled nodes contribute no
+    trace records.
+
     Telemetry: ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) gets
     the run's counters re-homed onto ``runtime_*`` instruments after the
     run; ``recorder`` (a :class:`~repro.obs.FlightRecorder`) turns on
@@ -237,8 +295,26 @@ def run_runtime(
     """
     if beats < 1:
         raise ConfigurationError(f"need at least one beat, got {beats}")
+    if sync not in ("beat", "pulse"):
+        raise ConfigurationError(
+            f"unknown sync mode {sync!r}: expected 'beat' or 'pulse'"
+        )
+    if sync == "beat" and rho:
+        raise ConfigurationError(
+            "clock drift (rho) only applies to the pulse barrier; "
+            "pass sync='pulse'"
+        )
     check_resilience(n, f)
     seeds = SeedSequence(seed)
+    timing = None
+    if sync == "pulse":
+        # DriftingClock validates rho and pulse_period at construction;
+        # fail fast here, before any transport work.
+        from repro.net.events import DriftingClock
+
+        timing_seed = seeds.seed_for("timing")
+        DriftingClock(timing_seed, 0, rho, pulse_period)
+        timing = (timing_seed, rho, pulse_period)
     env = Environment(n, seeds.seed_for("env"))
     adversary_rng = seeds.stream("adversary")
     byzantine: "tuple | None" = None
@@ -258,6 +334,19 @@ def run_runtime(
     else:
         faulty_ids = frozenset()
     honest_ids = [i for i in range(n) if i not in faulty_ids]
+    stalled = frozenset(stall_ids)
+    bad_stalls = sorted(i for i in stalled if i not in honest_ids)
+    if bad_stalls:
+        raise ConfigurationError(
+            f"stall_ids {bad_stalls} are not honest node ids: only "
+            "correct processes can be stalled (the adversary already "
+            "speaks for the faulty ones)"
+        )
+    if stalled and len(stalled) >= len(honest_ids):
+        raise ConfigurationError(
+            "cannot stall every honest node: nobody would be left to "
+            "drive the run to termination"
+        )
     nodes = {
         i: Node(
             i,
@@ -282,7 +371,7 @@ def run_runtime(
     runtime_nodes, process = asyncio.run(
         _run_async(
             transport_obj, nodes, byzantine, beats, beat_timeout, probe, n,
-            codec_obj, clock,
+            codec_obj, clock, timing, stalled,
         )
     )
     elapsed = time.perf_counter() - started
@@ -322,6 +411,28 @@ def run_runtime(
     frames_by_node = {
         rn.node.node_id: rn.frames_sent for rn in runtime_nodes
     }
+    pulse_timeouts = 0
+    pulse_skew = None
+    converged_time = None
+    if sync == "pulse":
+        pulse_timeouts = sum(
+            rn.synchronizer.pulse_timeouts for rn in runtime_nodes
+        )
+        if process is not None:
+            pulse_timeouts += process.pulse_timeouts
+        # All barriers share one anchor on one event loop (local and TCP
+        # runs alike are in-process), so close offsets are comparable:
+        # the per-beat spread is the run's realized pulse skew.
+        closes = [rn.synchronizer.pulse_closes for rn in runtime_nodes]
+        if closes and all(len(c) >= beats for c in closes):
+            pulse_skew = max(
+                max(c[beat] for c in closes) - min(c[beat] for c in closes)
+                for beat in range(beats)
+            )
+        if converged is not None and closes:
+            converged_time = max(
+                c[converged] for c in closes if len(c) > converged
+            )
     result = RuntimeResult(
         seed=seed,
         transport=transport_obj.name,
@@ -337,6 +448,10 @@ def run_runtime(
         frames_sent=frames,
         malformed_frames=malformed,
         frames_by_node=frames_by_node,
+        sync=sync,
+        pulse_timeouts=pulse_timeouts,
+        pulse_skew_s=pulse_skew,
+        converged_time_s=converged_time,
     )
     if metrics is not None:
         from repro.obs.metrics import record_runtime

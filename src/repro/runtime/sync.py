@@ -40,7 +40,7 @@ from repro.runtime.codec import Codec, DEFAULT_CODEC, resolve_codec
 from repro.runtime.transport import Endpoint
 from repro.runtime.wire import END, MSG, MAX_FRAME_LEN, Frame, WireError
 
-__all__ = ["MAX_LOOKAHEAD", "BeatSynchronizer"]
+__all__ = ["MAX_LOOKAHEAD", "BeatSynchronizer", "PulseBarrier"]
 
 #: Buffering horizon, in beats: frames tagged this far past the current
 #: beat are discarded rather than parked.  Honest peers drift by less
@@ -148,6 +148,25 @@ class BeatSynchronizer:
 
     # -- the barrier -------------------------------------------------------
 
+    def _deadline(self, loop: asyncio.AbstractEventLoop) -> "float | None":
+        """Loop time at which the current barrier gives up waiting.
+
+        The base barrier waits a fixed ``beat_timeout`` from the moment
+        the barrier is requested; :class:`PulseBarrier` overrides this
+        with its drifting clock's pulse schedule.
+        """
+        return (
+            None if self.beat_timeout is None
+            else loop.time() + self.beat_timeout
+        )
+
+    def _note_timeout(self) -> None:
+        """Account one barrier closed by its deadline rather than markers."""
+        self.barrier_timeouts += 1
+
+    def _note_close(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Hook invoked at every barrier close (timeout or markers)."""
+
     async def collect_entries(self, beat: int) -> list[Entry]:
         """Close beat ``beat``'s barrier; return its sorted traffic."""
         if beat != self.beat:
@@ -156,10 +175,7 @@ class BeatSynchronizer:
                 f"is at beat {self.beat}; beats close strictly in order"
             )
         loop = asyncio.get_running_loop()
-        deadline = (
-            None if self.beat_timeout is None
-            else loop.time() + self.beat_timeout
-        )
+        deadline = self._deadline(loop)
         drain = self._recv_nowait
         while not self._markers.get(beat, set()) >= self.expected:
             if drain is not None:
@@ -175,7 +191,7 @@ class BeatSynchronizer:
             else:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
-                    self.barrier_timeouts += 1
+                    self._note_timeout()
                     break
                 try:
                     sender, data = await asyncio.wait_for(
@@ -184,12 +200,13 @@ class BeatSynchronizer:
                 except asyncio.TimeoutError:
                     # asyncio.TimeoutError: distinct from the builtin
                     # until 3.11, and this package supports 3.10.
-                    self.barrier_timeouts += 1
+                    self._note_timeout()
                     break
             self.note(sender, data)
         self._markers.pop(beat, None)
         entries = self._messages.pop(beat, [])
         entries.sort(key=lambda entry: entry[0])
+        self._note_close(loop)
         self.beat = beat + 1
         return entries
 
@@ -199,3 +216,69 @@ class BeatSynchronizer:
         for _key, envelope in await self.collect_entries(beat):
             inboxes.setdefault(envelope.path, []).append(envelope)
         return inboxes
+
+
+class PulseBarrier(BeatSynchronizer):
+    """The timeout-based pulse barrier: the continuous-time mode's round
+    barrier for live transports (``repro runtime --sync pulse``).
+
+    Instead of a fixed per-beat timeout, the barrier's deadline follows a
+    :class:`~repro.net.events.DriftingClock`'s pulse schedule: the
+    barrier for beat ``b`` gives up when the node's local clock crosses
+    pulse ``b + 1`` — the wall-clock realization of the event engine's
+    close rule.  A healthy barrier still closes *early* on the full
+    marker set (so fault-free runs move at network speed, not at the
+    pulse period), while a stalled or Byzantine-silent peer can delay a
+    beat only until the pulse fires: the run always terminates in at most
+    ``beats × period / (1 - rho)`` real seconds.
+
+    Deadline closes are accounted twice: in the new ``pulse_timeouts``
+    counter and in the inherited ``barrier_timeouts``, so every existing
+    health surface (CLI summary lines, :attr:`RuntimeResult.health`,
+    cluster JSONL, the obs collectors) sees pulse-mode trouble without
+    modification.  Per-beat close offsets (real seconds since the run
+    anchor) accumulate in :attr:`pulse_closes`; the runner turns them
+    into the max-pairwise-skew and real-time-convergence metrics.
+
+    Args:
+        endpoint, expected, codec: as :class:`BeatSynchronizer`.
+        clock: this node's drifting clock — built from the run's shared
+            ``"timing"`` seed so rates match the event-driven simulator.
+        anchor: loop time of the run's pulse 0.  Pass one shared reading
+            so co-located nodes' deadlines (and close offsets) are
+            comparable; ``None`` self-anchors at the first barrier.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        expected: Iterable[int],
+        *,
+        clock,
+        anchor: "float | None" = None,
+        codec: "str | Codec" = DEFAULT_CODEC,
+    ) -> None:
+        super().__init__(endpoint, expected, beat_timeout=None, codec=codec)
+        self.clock = clock
+        self.anchor = anchor
+        self.pulse_timeouts = 0
+        #: Per-beat close offsets, in real seconds since the anchor.
+        self.pulse_closes: list[float] = []
+
+    @property
+    def counters(self) -> dict[str, int]:
+        counters = super().counters
+        counters["pulse_timeouts"] = self.pulse_timeouts
+        return counters
+
+    def _deadline(self, loop: asyncio.AbstractEventLoop) -> float:
+        if self.anchor is None:
+            self.anchor = loop.time() - self.clock.pulse_time(self.beat)
+        return self.anchor + self.clock.pulse_time(self.beat + 1)
+
+    def _note_timeout(self) -> None:
+        self.pulse_timeouts += 1
+        self.barrier_timeouts += 1
+
+    def _note_close(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.pulse_closes.append(loop.time() - self.anchor)

@@ -90,8 +90,9 @@ class TestRegistry:
 
     def test_registration_count(self):
         # Twelve ported legacy entry points + the live-runtime benchmark
-        # + the cross-protocol comparison over the Protocol seam.
-        assert len({b.name for b in all_benchmarks()}) == 15
+        # + the cross-protocol comparison over the Protocol seam
+        # + the continuous-time pulse precision suite.
+        assert len({b.name for b in all_benchmarks()}) == 16
 
     def test_sources_point_at_their_shims(self):
         for bench in all_benchmarks():
@@ -526,12 +527,13 @@ class TestCheckedInArtifacts:
             key.split("/", 1)[0]
             for key in baselines["tiers"]["smoke"]
         }
-        # engines and runtime_throughput contribute gated trajectory /
-        # trace digests (simulation-deterministic, so pinnable at every
-        # tier) on top of their ungated wall-clock rows.
+        # engines, runtime_throughput and pulse_precision contribute
+        # gated trajectory / trace digests (simulation-deterministic, so
+        # pinnable at every tier) on top of their ungated wall-clock rows.
         assert smoke_benchmarks == {
             "engines", "link_conditions", "protocol_comparison",
-            "runtime_throughput", "stabilization_under_churn",
+            "pulse_precision", "runtime_throughput",
+            "stabilization_under_churn",
         }
         for tier in ("smoke", "full", "nightly"):
             engine_keys = [

@@ -136,6 +136,35 @@ class TestLinkFlags:
         assert code == 2
         assert "delay" in err
 
+    def test_campaign_timing_axis(self, capsys):
+        code = main(
+            ["campaign", "--n", "4", "--k", "6", "--seeds", "1",
+             "--beats", "30", "--workers", "1",
+             "--timing", "0.005:0:0.1:1", "0:0:0:1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 scenarios x 1 seeds" in out
+        assert "timing[rho=0.005,d=0.0-0.1,period=1.0]" in out
+        assert "timing[rho=0.0,d=0.0-0.0,period=1.0]" in out
+
+    def test_campaign_malformed_timing_exit_code(self, capsys):
+        code = main(
+            ["campaign", "--n", "4", "--seeds", "1", "--workers", "1",
+             "--timing", "0.005:0"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "RHO:DMIN:DMAX:PERIOD" in err
+
+    def test_campaign_timing_rejects_link_axis(self, capsys):
+        code = main(
+            ["campaign", "--n", "4", "--seeds", "1", "--workers", "1",
+             "--timing", "0.005:0:0.1:1", "--link", "delay"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+
 
 class TestProtocolFlags:
     def test_protocols_listing(self, capsys):
@@ -446,7 +475,7 @@ class TestBenchCommand:
         assert code == 0
         for benchmark in all_benchmarks():
             assert benchmark.name in out
-        assert "15 benchmarks" in out
+        assert "16 benchmarks" in out
 
     def test_bench_list_tier_selection(self, capsys):
         code = main(["bench", "list", "--tier", "smoke"])
